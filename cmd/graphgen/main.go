@@ -1,0 +1,53 @@
+// Command graphgen generates one of the paper's scaled input graphs and
+// writes it as a binary CSR file.
+//
+// Usage:
+//
+//	graphgen -input clueweb12 -scale small -o clueweb12.csr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+)
+
+func main() {
+	name := flag.String("input", "clueweb12", "paper input: "+strings.Join(gen.InputNames(), ","))
+	scaleFlag := flag.String("scale", "small", "full or small")
+	out := flag.String("o", "", "output file (default <input>.csr)")
+	weights := flag.Uint("weights", 0, "attach random edge weights in [1,N] (0 = unweighted)")
+	flag.Parse()
+
+	scale := gen.ScaleSmall
+	if *scaleFlag == "full" {
+		scale = gen.ScaleFull
+	}
+	g, _, err := gen.Input(*name, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	if *weights > 0 {
+		g.AddRandomWeights(uint32(*weights), 1)
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".csr"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := graph.WriteCSR(f, g); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d nodes, %d edges\n", path, g.NumNodes(), g.NumEdges())
+}

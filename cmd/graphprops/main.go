@@ -1,0 +1,57 @@
+// Command graphprops prints the Table 3 property row for a binary CSR
+// graph file or for a named generated input.
+//
+// Usage:
+//
+//	graphprops graph.csr
+//	graphprops -input wdc12 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/stats"
+)
+
+func main() {
+	name := flag.String("input", "", "generate a paper input instead of reading a file")
+	scaleFlag := flag.String("scale", "small", "full or small")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *name != "":
+		scale := gen.ScaleSmall
+		if *scaleFlag == "full" {
+			scale = gen.ScaleFull
+		}
+		var err error
+		g, _, err = gen.Input(*name, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphprops:", err)
+			os.Exit(1)
+		}
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphprops:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		g, err = graph.ReadCSR(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphprops:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: graphprops <file.csr> | graphprops -input <name>")
+		os.Exit(2)
+	}
+	p := g.Props()
+	fmt.Printf("|V|          %d\n|E|          %d\n|E|/|V|      %.1f\nmax Dout     %d\nmax Din      %d\nest diameter %d\nCSR size     %s\n",
+		p.Nodes, p.Edges, p.AvgDegree, p.MaxOutDegree, p.MaxInDegree, p.EstDiameter, stats.HumanBytes(p.CSRBytes))
+}

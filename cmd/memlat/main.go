@@ -1,0 +1,21 @@
+// Command memlat prints the simulated machine's latency and bandwidth
+// characterization (the paper's Tables 1 and 2).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pmemgraph/internal/bench"
+	"pmemgraph/internal/gen"
+)
+
+func main() {
+	opts := bench.Options{Scale: gen.ScaleSmall, Out: os.Stdout}
+	for _, exp := range []string{"table1", "table2"} {
+		if err := bench.Run(exp, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "memlat:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command pmembench regenerates the paper's tables and figures on the
+// simulated machines. With no -exp flag it runs every experiment in paper
+// order.
+//
+// Usage:
+//
+//	pmembench [-exp table4] [-scale full|small] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pmemgraph/internal/bench"
+	"pmemgraph/internal/gen"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all); one of "+strings.Join(bench.Experiments(), ","))
+	scaleFlag := flag.String("scale", "small", "input/machine scale: full or small")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
+	flag.Parse()
+
+	scale := gen.ScaleSmall
+	if *scaleFlag == "full" {
+		scale = gen.ScaleFull
+	}
+	opts := bench.Options{Scale: scale, Quick: *quick, Out: os.Stdout}
+
+	names := bench.Experiments()
+	if *exp != "" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := bench.Run(name, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pmembench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

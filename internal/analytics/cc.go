@@ -1,0 +1,266 @@
+package analytics
+
+import (
+	"sync/atomic"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/worklist"
+)
+
+// Connected components treats edges as undirected, as all the frameworks in
+// the paper do. The label-propagation kernels therefore require the
+// transpose (in-edges) so labels flow against edge direction too; the
+// pointer-jumping kernel hooks roots and is direction-agnostic.
+
+// newLabelArray initializes labels[v] = v.
+func newLabelArray(r *core.Runtime, name string) ([]atomic.Uint32, *memsim.Array) {
+	n := r.G.NumNodes()
+	labels := make([]atomic.Uint32, n)
+	arr := r.NodeArray(name, 4)
+	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			labels[i].Store(uint32(i))
+		}
+		arr.WriteRange(t, lo, hi)
+	})
+	return labels, arr
+}
+
+// ccPushOnce pushes v's label to its out- (and in-) neighbors, activating
+// improved vertices via activate.
+func ccPushOnce(r *core.Runtime, t *memsim.Thread, labels []atomic.Uint32, labArr *memsim.Array, v graph.Node, activate func(graph.Node)) {
+	lv := labels[v].Load()
+	nbrs := r.OutScan(t, v, false)
+	labArr.RandomN(t, int64(len(nbrs)), true)
+	t.Op(len(nbrs))
+	for _, d := range nbrs {
+		if relaxMin(labels, d, lv) {
+			activate(d)
+		}
+	}
+	if r.InOffsets != nil {
+		ins := r.InScan(t, v, false)
+		labArr.RandomN(t, int64(len(ins)), true)
+		t.Op(len(ins))
+		for _, d := range ins {
+			if relaxMin(labels, d, lv) {
+				activate(d)
+			}
+		}
+	}
+}
+
+// CCLabelPropDense is plain label propagation as a vertex program over
+// dense worklists: the only cc expressible in GraphIt (§6.1). Rounds have
+// snapshot (bulk-synchronous) semantics — labels written in round i are
+// read in round i+1 — so a component of diameter D needs ~D rounds, each
+// scanning the dense frontier and offsets arrays. That round count is
+// exactly why this variant loses on high-diameter web crawls (§5.2).
+func CCLabelPropDense(r *core.Runtime) *Result {
+	if r.InOffsets == nil {
+		panic("analytics: CCLabelPropDense requires a runtime with in-edges (weak components need both directions)")
+	}
+	w := startWindow(r.M)
+	n := r.G.NumNodes()
+	cur := make([]uint32, n)
+	next := make([]atomic.Uint32, n)
+	labArr := r.NodeArray("cc.labels", 4)
+	nextArr := r.NodeArray("cc.labels.next", 4)
+	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			cur[i] = uint32(i)
+			next[i].Store(uint32(i))
+		}
+		labArr.WriteRange(t, lo, hi)
+		nextArr.WriteRange(t, lo, hi)
+	})
+	bits := r.ScratchArray("cc.frontier.bits", int64(n+63)/64, 8)
+
+	fr := worklist.NewDouble(n)
+	for v := 0; v < n; v++ {
+		fr.Cur.Set(graph.Node(v))
+	}
+	active := n
+	rounds := 0
+	for active > 0 {
+		rounds++
+		var nextActive atomic.Int64
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
+			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			cnt := int64(0)
+			fr.Cur.ForEachInRange(lo, hi, func(v graph.Node) {
+				lv := cur[v]
+				push := func(d graph.Node) {
+					if relaxMin(next, d, lv) {
+						if fr.Next.Set(d) {
+							cnt++
+						}
+					}
+				}
+				nbrs := r.OutScan(t, v, false)
+				nextArr.RandomN(t, int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				for _, d := range nbrs {
+					push(d)
+				}
+				ins := r.InScan(t, v, false)
+				nextArr.RandomN(t, int64(len(ins)), true)
+				t.Op(len(ins))
+				for _, d := range ins {
+					push(d)
+				}
+			})
+			nextActive.Add(cnt)
+		})
+		// Publish the round: snapshot next into cur.
+		r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
+			nextArr.ReadRange(t, lo, hi)
+			labArr.WriteRange(t, lo, hi)
+			for i := lo; i < hi; i++ {
+				cur[i] = next[i].Load()
+			}
+		})
+		fr.Swap()
+		active = int(nextActive.Load())
+	}
+	return w.finish(&Result{App: "cc", Algorithm: "dense-wl", Rounds: rounds, Labels: append([]uint32(nil), cur...)})
+}
+
+// CCLabelPropSC is the Galois variant: label propagation with shortcutting
+// (Stergiou et al.), a non-vertex program — after each propagation round
+// every vertex jumps one level up its label chain (label[v] =
+// label[label[v]]), collapsing long chains exponentially faster. Active
+// vertices are kept in a sparse worklist.
+func CCLabelPropSC(r *core.Runtime) *Result {
+	if r.InOffsets == nil {
+		panic("analytics: CCLabelPropSC requires a runtime with in-edges (weak components need both directions)")
+	}
+	w := startWindow(r.M)
+	n := r.G.NumNodes()
+	labels, labArr := newLabelArray(r, "cc.labels")
+	wlArr := r.ScratchArray("cc.wl", int64(n), 4)
+
+	frontier := make([]graph.Node, n)
+	for v := range frontier {
+		frontier[v] = graph.Node(v)
+	}
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		next := worklist.NewBag()
+		r.ParallelItems(int64(len(frontier)), func(t *memsim.Thread, lo, hi int64) {
+			h := next.NewHandle()
+			wlArr.ReadRange(t, lo, hi)
+			pushed := int64(0)
+			for _, v := range frontier[lo:hi] {
+				ccPushOnce(r, t, labels, labArr, v, func(d graph.Node) {
+					h.Push(d)
+					pushed++
+				})
+			}
+			h.Flush()
+			wlArr.WriteRange(t, 0, pushed)
+		})
+		// Shortcut pass (non-vertex operator): the neighborhood is the
+		// label chain, not the graph edges.
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			labArr.ReadRange(t, int64(lo), int64(hi))
+			labArr.RandomN(t, int64(hi-lo), true)
+			t.Op(int(hi - lo))
+			for v := lo; v < hi; v++ {
+				l := labels[v].Load()
+				ll := labels[l].Load()
+				if ll < l {
+					relaxMin(labels, v, ll)
+				}
+			}
+		})
+		frontier = dedupe(next.Drain())
+	}
+	return w.finish(&Result{App: "cc", Algorithm: "labelprop-sc", Rounds: rounds, Labels: snapshot(labels)})
+}
+
+// CCPointerJump is the union-find / pointer-jumping cc used by GAP and
+// GBBS (Shiloach-Vishkin family): hook every edge, then jump pointers to
+// full compression. Topology-driven; a vertex program over edges plus a
+// pointer-jumping phase.
+func CCPointerJump(r *core.Runtime) *Result {
+	w := startWindow(r.M)
+	labels, labArr := newLabelArray(r, "cc.parent")
+
+	rounds := 0
+	for {
+		rounds++
+		var changed atomic.Int64
+		// Hook: for every edge (u,v), point the larger root at the
+		// smaller label.
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			for v := lo; v < hi; v++ {
+				nbrs := r.G.OutNeighbors(v)
+				r.Edges.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
+				labArr.RandomN(t, 2*int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				for _, d := range nbrs {
+					lv := labels[v].Load()
+					ld := labels[d].Load()
+					switch {
+					case lv < ld:
+						if relaxMin(labels, graph.Node(ld), lv) {
+							changed.Add(1)
+						}
+					case ld < lv:
+						if relaxMin(labels, graph.Node(lv), ld) {
+							changed.Add(1)
+						}
+					}
+				}
+			}
+		})
+		// Jump: compress pointer chains until every label is a root.
+		for {
+			var jumped atomic.Int64
+			r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+				labArr.ReadRange(t, int64(lo), int64(hi))
+				labArr.RandomN(t, int64(hi-lo), true)
+				t.Op(int(hi - lo))
+				for v := lo; v < hi; v++ {
+					l := labels[v].Load()
+					ll := labels[l].Load()
+					if ll < l {
+						relaxMin(labels, v, ll)
+						jumped.Add(1)
+					}
+				}
+			})
+			if jumped.Load() == 0 {
+				break
+			}
+		}
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	return w.finish(&Result{App: "cc", Algorithm: "pointer-jump", Rounds: rounds, Labels: snapshot(labels)})
+}
+
+// dedupe removes duplicate vertices from a drained frontier (a vertex may
+// be activated by several neighbors in one round).
+func dedupe(vs []graph.Node) []graph.Node {
+	if len(vs) < 2 {
+		return vs
+	}
+	seen := make(map[graph.Node]struct{}, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

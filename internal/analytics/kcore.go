@@ -1,0 +1,179 @@
+package analytics
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/worklist"
+)
+
+// KCoreDefaultK is the paper's k (§3: "The k in kcore is 100"). Scaled
+// inputs have proportionally lower degrees, so the harness passes a scaled
+// k; the kernel takes it as a parameter.
+const KCoreDefaultK = 100
+
+// kcoreDegrees computes the undirected degree (out + in) of every vertex.
+// kcore views the graph as undirected, so the transpose is required.
+func kcoreDegrees(r *core.Runtime) ([]atomic.Int64, *memsim.Array) {
+	if r.InOffsets == nil {
+		panic("analytics: kcore requires a runtime with in-edges (undirected degrees)")
+	}
+	n := r.G.NumNodes()
+	deg := make([]atomic.Int64, n)
+	arr := r.NodeArray("kcore.deg", 8)
+	r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+		r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+		r.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+		arr.WriteRange(t, int64(lo), int64(hi))
+		t.Op(int(hi - lo))
+		for v := lo; v < hi; v++ {
+			deg[v].Store(r.G.OutDegree(v) + r.G.InDegree(v))
+		}
+	})
+	return deg, arr
+}
+
+// kcoreResult converts surviving degrees into core membership.
+func kcoreResult(deg []atomic.Int64, k int64) []bool {
+	in := make([]bool, len(deg))
+	for v := range deg {
+		in[v] = deg[v].Load() >= k
+	}
+	return in
+}
+
+// KCoreSparse is the Galois-style asynchronous peeling k-core: vertices
+// whose degree drops below k enter a sparse worklist; threads drain it
+// concurrently, decrementing neighbor degrees and cascading removals with
+// no graph-wide rounds.
+func KCoreSparse(r *core.Runtime, k int64) *Result {
+	w := startWindow(r.M)
+	deg, degArr := kcoreDegrees(r)
+	wlArr := r.ScratchArray("kcore.wl", int64(r.G.NumNodes()), 4)
+
+	// Seed: all vertices already below k.
+	seed := worklist.NewBag()
+	r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+		h := seed.NewHandle()
+		degArr.ReadRange(t, int64(lo), int64(hi))
+		pushed := int64(0)
+		for v := lo; v < hi; v++ {
+			if deg[v].Load() < k {
+				h.Push(v)
+				pushed++
+			}
+		}
+		h.Flush()
+		wlArr.WriteRange(t, 0, pushed)
+	})
+
+	removed := make([]atomic.Bool, r.G.NumNodes())
+	epochs := 0
+	bag := seed
+	var working atomic.Int64
+	for !bag.Empty() {
+		epochs++
+		r.Parallel(func(t *memsim.Thread) {
+			h := bag.NewHandle()
+			for {
+				chunk := bag.PopChunk()
+				if chunk == nil {
+					if working.Load() == 0 {
+						break
+					}
+					runtime.Gosched()
+					continue
+				}
+				working.Add(1)
+				wlArr.ReadRange(t, 0, int64(len(chunk)))
+				for _, v := range chunk {
+					if removed[v].Swap(true) {
+						continue
+					}
+					// Peel v: decrement every neighbor (both
+					// directions; non-vertex cascade happens via
+					// the worklist).
+					nbrs := r.OutScan(t, v, false)
+					degArr.RandomN(t, int64(len(nbrs)), true)
+					t.Op(len(nbrs))
+					for _, d := range nbrs {
+						if deg[d].Add(-1) == k-1 {
+							h.Push(d)
+						}
+					}
+					ins := r.InScan(t, v, false)
+					degArr.RandomN(t, int64(len(ins)), true)
+					t.Op(len(ins))
+					for _, d := range ins {
+						if deg[d].Add(-1) == k-1 {
+							h.Push(d)
+						}
+					}
+				}
+				h.Flush() // publish cascaded work promptly
+				working.Add(-1)
+			}
+		})
+	}
+	return w.finish(&Result{App: "kcore", Algorithm: "peel-sparse", Rounds: epochs, InCore: kcoreResult(deg, k)})
+}
+
+// KCoreDense is the round-based peeling used by dense-worklist frameworks:
+// each round scans every vertex, removes those whose degree at round start
+// is below k (snapshot semantics), then applies the decrements — so
+// removals cascade only across rounds, giving the peeling-depth round
+// count a bulk-synchronous system pays.
+func KCoreDense(r *core.Runtime, k int64) *Result {
+	w := startWindow(r.M)
+	deg, degArr := kcoreDegrees(r)
+	n := r.G.NumNodes()
+	removed := make([]atomic.Bool, n)
+
+	rounds := 0
+	for {
+		rounds++
+		// Phase 1: decide this round's peel set from the snapshot.
+		peelThisRound := make([]atomic.Bool, n)
+		var peeled atomic.Int64
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			degArr.ReadRange(t, int64(lo), int64(hi))
+			t.Op(int(hi - lo))
+			for v := lo; v < hi; v++ {
+				if removed[v].Load() || deg[v].Load() >= k {
+					continue
+				}
+				removed[v].Store(true)
+				peelThisRound[v].Store(true)
+				peeled.Add(1)
+			}
+		})
+		if peeled.Load() == 0 {
+			break
+		}
+		// Phase 2: apply the decrements.
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			for v := lo; v < hi; v++ {
+				if !peelThisRound[v].Load() {
+					continue
+				}
+				nbrs := r.OutScan(t, v, false)
+				degArr.RandomN(t, int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				for _, d := range nbrs {
+					deg[d].Add(-1)
+				}
+				ins := r.InScan(t, v, false)
+				degArr.RandomN(t, int64(len(ins)), true)
+				t.Op(len(ins))
+				for _, d := range ins {
+					deg[d].Add(-1)
+				}
+			}
+		})
+	}
+	return w.finish(&Result{App: "kcore", Algorithm: "peel-dense", Rounds: rounds, InCore: kcoreResult(deg, k)})
+}

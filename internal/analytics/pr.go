@@ -1,0 +1,114 @@
+package analytics
+
+import (
+	"math"
+	"sync/atomic"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// PageRank defaults, matching §3: tolerance 1e-6, at most 100 rounds,
+// damping 0.85.
+const (
+	PRDefaultTolerance = 1e-6
+	PRDefaultMaxRounds = 100
+	prDamping          = 0.85
+)
+
+// PageRank is the topology-driven pull pagerank every framework in the
+// paper shares ("all systems use the same algorithm for pr"): each round,
+// every vertex pulls its in-neighbors' contributions; the run stops when
+// the L1 residual falls below tol or after maxRounds rounds. Requires
+// in-edges.
+func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
+	if r.InOffsets == nil {
+		panic("analytics: PageRank requires a runtime with in-edges (pull operator)")
+	}
+	if tol <= 0 {
+		tol = PRDefaultTolerance
+	}
+	if maxRounds <= 0 {
+		maxRounds = PRDefaultMaxRounds
+	}
+	w := startWindow(r.M)
+	n := r.G.NumNodes()
+
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n) // rank[v] / outDegree(v), published per round
+	rankArr := r.NodeArray("pr.rank", 8)
+	nextArr := r.NodeArray("pr.next", 8)
+	contribArr := r.NodeArray("pr.contrib", 8)
+
+	init := 1.0 / float64(n)
+	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			rank[i] = init
+		}
+		rankArr.WriteRange(t, lo, hi)
+	})
+
+	base := (1 - prDamping) / float64(n)
+	rounds := 0
+	for rounds < maxRounds {
+		rounds++
+		// Publish contributions (streaming pass).
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			rankArr.ReadRange(t, int64(lo), int64(hi))
+			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			contribArr.WriteRange(t, int64(lo), int64(hi))
+			t.Op(int(hi - lo))
+			for v := lo; v < hi; v++ {
+				if d := r.G.OutDegree(v); d > 0 {
+					contrib[v] = rank[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
+			}
+		})
+		// Pull phase: gather in-neighbor contributions.
+		var residual atomicFloat
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			localRes := 0.0
+			r.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+			nextArr.WriteRange(t, int64(lo), int64(hi))
+			for v := lo; v < hi; v++ {
+				ins := r.G.InNeighbors(v)
+				r.InEdges.ReadRange(t, r.G.InOffsets[v], r.G.InOffsets[v+1])
+				contribArr.RandomN(t, int64(len(ins)), false)
+				t.Op(len(ins) + 1)
+				sum := 0.0
+				for _, u := range ins {
+					sum += contrib[u]
+				}
+				nv := base + prDamping*sum
+				localRes += math.Abs(nv - rank[v])
+				next[v] = nv
+			}
+			residual.add(localRes)
+		})
+		rank, next = next, rank
+		rankArr, nextArr = nextArr, rankArr
+		if residual.load() < tol {
+			break
+		}
+	}
+	return w.finish(&Result{App: "pr", Algorithm: "topo-pull", Rounds: rounds, Rank: append([]float64(nil), rank...)})
+}
+
+// atomicFloat accumulates float64 values concurrently via CAS on bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(x float64) {
+	for {
+		old := f.bits.Load()
+		nv := math.Float64frombits(old) + x
+		if f.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }

@@ -1,0 +1,265 @@
+package analytics
+
+import (
+	"container/heap"
+
+	"pmemgraph/internal/graph"
+)
+
+// Reference implementations used to validate the parallel kernels.
+
+// refBFS is a sequential BFS over out-edges.
+func refBFS(g *graph.Graph, src graph.Node) []uint32 {
+	n := g.NumNodes()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	queue := []graph.Node{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range g.OutNeighbors(v) {
+			if dist[d] == Infinity {
+				dist[d] = dist[v] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	return dist
+}
+
+// refSSSP is sequential Dijkstra over out-edges.
+func refSSSP(g *graph.Graph, src graph.Node) []uint32 {
+	n := g.NumNodes()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{src, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeDist)
+		if item.d > dist[item.v] {
+			continue
+		}
+		ws := g.OutWeightsOf(item.v)
+		for i, d := range g.OutNeighbors(item.v) {
+			nd := item.d + ws[i]
+			if nd < dist[d] {
+				dist[d] = nd
+				heap.Push(pq, nodeDist{d, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeDist struct {
+	v graph.Node
+	d uint32
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refComponents returns a canonical component ID per node (min node ID in
+// the weakly connected component).
+func refComponents(g *graph.Graph) []uint32 {
+	n := g.NumNodes()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra < rb {
+			parent[rb] = ra
+		} else if rb < ra {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, d := range g.OutNeighbors(graph.Node(v)) {
+			union(v, int(d))
+		}
+	}
+	out := make([]uint32, n)
+	for v := range out {
+		out[v] = uint32(find(v))
+	}
+	return out
+}
+
+// refTriangles counts undirected triangles by brute-force rank-ordered
+// enumeration over a deduplicated adjacency set.
+func refTriangles(g *graph.Graph) uint64 {
+	n := g.NumNodes()
+	adj := make([]map[graph.Node]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[graph.Node]bool)
+	}
+	for v := 0; v < n; v++ {
+		for _, d := range g.OutNeighbors(graph.Node(v)) {
+			if graph.Node(v) != d {
+				adj[v][d] = true
+			}
+		}
+	}
+	var count uint64
+	for u := 0; u < n; u++ {
+		for v := range adj[u] {
+			if int(v) <= u {
+				continue
+			}
+			for w := range adj[int(v)] {
+				if graph.Node(u) < v && v < w && adj[u][w] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// refKCore peels sequentially: returns membership of the k-core using
+// undirected (out+in) degrees.
+func refKCore(g *graph.Graph, k int64) []bool {
+	g.BuildIn()
+	n := g.NumNodes()
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.Node(v)) + g.InDegree(graph.Node(v))
+	}
+	removed := make([]bool, n)
+	queue := []graph.Node{}
+	for v := 0; v < n; v++ {
+		if deg[v] < k {
+			queue = append(queue, graph.Node(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		dec := func(d graph.Node) {
+			deg[d]--
+			if deg[d] == k-1 {
+				queue = append(queue, d)
+			}
+		}
+		for _, d := range g.OutNeighbors(v) {
+			dec(d)
+		}
+		for _, d := range g.InNeighbors(v) {
+			dec(d)
+		}
+	}
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = deg[v] >= k
+	}
+	return in
+}
+
+// refPageRank runs the same pull iteration sequentially.
+func refPageRank(g *graph.Graph, tol float64, maxRounds int) []float64 {
+	g.BuildIn()
+	n := g.NumNodes()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	base := (1 - prDamping) / float64(n)
+	for round := 0; round < maxRounds; round++ {
+		for v := 0; v < n; v++ {
+			if d := g.OutDegree(graph.Node(v)); d > 0 {
+				contrib[v] = rank[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		res := 0.0
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.InNeighbors(graph.Node(v)) {
+				sum += contrib[u]
+			}
+			nv := base + prDamping*sum
+			res += abs(nv - rank[v])
+			next[v] = nv
+		}
+		rank, next = next, rank
+		if res < tol {
+			break
+		}
+	}
+	return rank
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// refBC computes single-source Brandes dependencies sequentially.
+func refBC(g *graph.Graph, src graph.Node) []float64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	sigma[src] = 1
+	order := []graph.Node{src}
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, d := range g.OutNeighbors(v) {
+			if dist[d] < 0 {
+				dist[d] = dist[v] + 1
+				order = append(order, d)
+			}
+			if dist[d] == dist[v]+1 {
+				sigma[d] += sigma[v]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, d := range g.OutNeighbors(v) {
+			if dist[d] == dist[v]+1 && sigma[d] > 0 {
+				delta[v] += sigma[v] / sigma[d] * (1 + delta[d])
+			}
+		}
+	}
+	return delta
+}

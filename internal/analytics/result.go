@@ -1,0 +1,70 @@
+// Package analytics implements the paper's seven benchmarks — betweenness
+// centrality (bc), breadth-first search (bfs), connected components (cc),
+// k-core decomposition (kcore), pagerank (pr), single-source shortest paths
+// (sssp) and triangle counting (tc) — in the algorithmic variants §5
+// compares:
+//
+//	bfs:  dense-worklist BSP, direction-optimizing, sparse-worklist push
+//	cc:   dense label propagation (vertex program), label propagation with
+//	      shortcutting (non-vertex, Galois), union-find pointer jumping
+//	sssp: data-driven Bellman-Ford with dense worklists, asynchronous
+//	      delta-stepping over sparse OBIM buckets
+//
+// Every kernel computes its answer natively (validated against reference
+// implementations in tests) while charging its memory-access stream to the
+// runtime's simulated machine; reported times are simulated seconds.
+package analytics
+
+import (
+	"math"
+
+	"pmemgraph/internal/memsim"
+)
+
+// Infinity is the unreached distance marker.
+const Infinity = math.MaxUint32
+
+// Result reports one kernel execution.
+type Result struct {
+	// App is the benchmark name (bc, bfs, ...); Algorithm the variant
+	// (sparse-wl, dense-wl, dir-opt, delta-step, labelprop-sc, ...).
+	App       string
+	Algorithm string
+
+	// Seconds is the simulated wall-clock duration of the kernel.
+	Seconds float64
+	// Rounds is the number of bulk-synchronous rounds (or scheduler
+	// epochs for asynchronous kernels).
+	Rounds int
+	// Counters are the simulated hardware events attributed to the run.
+	Counters memsim.Counters
+
+	// TimedOut marks a run that exceeded its execution budget (the
+	// paper's 2-hour limit for the out-of-core experiments, Table 5).
+	TimedOut bool
+
+	// Outputs (only the fields relevant to the app are set).
+	Dist       []uint32  // bfs levels / sssp distances
+	Labels     []uint32  // cc component labels
+	Rank       []float64 // pr
+	Centrality []float64 // bc dependency scores
+	InCore     []bool    // kcore membership
+	Triangles  uint64    // tc
+}
+
+// window captures simulated time and counters around a kernel execution.
+type window struct {
+	m     *memsim.Machine
+	ns    float64
+	start memsim.Counters
+}
+
+func startWindow(m *memsim.Machine) window {
+	return window{m: m, ns: m.WallNs(), start: m.Counters()}
+}
+
+func (w window) finish(res *Result) *Result {
+	res.Seconds = (w.m.WallNs() - w.ns) / 1e9
+	res.Counters = w.m.Counters().Sub(w.start)
+	return res
+}

@@ -1,0 +1,186 @@
+package analytics
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/worklist"
+)
+
+// relaxMin lowers dist[v] to d with a CAS loop, reporting whether it
+// improved the stored value.
+func relaxMin(dist []atomic.Uint32, v graph.Node, d uint32) bool {
+	for {
+		old := dist[v].Load()
+		if old <= d {
+			return false
+		}
+		if dist[v].CompareAndSwap(old, d) {
+			return true
+		}
+	}
+}
+
+// SSSPDeltaStep is asynchronous delta-stepping over sparse OBIM buckets:
+// the Galois variant the paper reports as the best sssp algorithm on every
+// input (Figure 7c). Threads drain the lowest-priority bucket concurrently,
+// pushing relaxed vertices into later (or the same) buckets; there are no
+// graph-wide rounds.
+func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
+	if r.Weights == nil {
+		panic("analytics: SSSPDeltaStep requires a weighted runtime")
+	}
+	if delta == 0 {
+		delta = 1
+	}
+	w := startWindow(r.M)
+	dist, distArr := newDistArray(r, "sssp.dist")
+	wlArr := r.ScratchArray("sssp.wl", int64(r.G.NumNodes()), 4)
+
+	obim := worklist.NewOBIM()
+	dist[src].Store(0)
+	obim.Push(0, []graph.Node{src})
+	epochs := 0
+	for {
+		p := obim.CurrentPriority()
+		if p < 0 {
+			break
+		}
+		epochs++
+		bucket := obim.Bucket(p)
+		var working atomic.Int64
+		r.Parallel(func(t *memsim.Thread) {
+			pushBufs := make(map[int][]graph.Node)
+			for {
+				chunk := bucket.PopChunk()
+				if chunk == nil {
+					// Same-priority pushes may still be in
+					// flight from other threads: spin until the
+					// bucket is drained for real, so work never
+					// serializes onto one thread.
+					if working.Load() == 0 {
+						break
+					}
+					runtime.Gosched()
+					continue
+				}
+				working.Add(1)
+				wlArr.ReadRange(t, 0, int64(len(chunk)))
+				for _, v := range chunk {
+					dv := dist[v].Load()
+					if int(dv/delta) < p {
+						continue // stale entry, already settled
+					}
+					nbrs := r.OutScan(t, v, true)
+					ws := r.G.OutWeightsOf(v)
+					distArr.RandomN(t, int64(len(nbrs)), true)
+					t.Op(len(nbrs))
+					for i, d := range nbrs {
+						nd := dv + ws[i]
+						if nd < dv { // overflow guard
+							continue
+						}
+						if relaxMin(dist, d, nd) {
+							pr := int(nd / delta)
+							pushBufs[pr] = append(pushBufs[pr], d)
+							if len(pushBufs[pr]) >= 64 {
+								// Publish small chunks promptly so
+								// idle threads can steal them.
+								obim.Push(pr, pushBufs[pr])
+								wlArr.WriteRange(t, 0, int64(len(pushBufs[pr])))
+								pushBufs[pr] = nil
+							}
+						}
+					}
+				}
+				working.Add(-1)
+			}
+			for pr, buf := range pushBufs {
+				obim.Push(pr, buf)
+				wlArr.WriteRange(t, 0, int64(len(buf)))
+			}
+		})
+	}
+	return w.finish(&Result{App: "sssp", Algorithm: "delta-step", Rounds: epochs, Dist: snapshot(dist)})
+}
+
+// SSSPBellmanFordDense is the data-driven Bellman-Ford with dense
+// worklists: the vertex-program variant available in frameworks without
+// sparse worklists (and the only sssp expressible in GraphIt per §6.1).
+// Rounds have snapshot (bulk-synchronous) semantics, so the round count is
+// bounded by the hop length of the longest shortest path — the term that
+// blows up on high-diameter graphs.
+func SSSPBellmanFordDense(r *core.Runtime, src graph.Node) *Result {
+	if r.Weights == nil {
+		panic("analytics: SSSPBellmanFordDense requires a weighted runtime")
+	}
+	w := startWindow(r.M)
+	n := r.G.NumNodes()
+	cur := make([]uint32, n)
+	next := make([]atomic.Uint32, n)
+	distArr := r.NodeArray("sssp.dist", 4)
+	nextArr := r.NodeArray("sssp.dist.next", 4)
+	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			cur[i] = Infinity
+			next[i].Store(Infinity)
+		}
+		distArr.WriteRange(t, lo, hi)
+		nextArr.WriteRange(t, lo, hi)
+	})
+	bits := r.ScratchArray("sssp.frontier.bits", int64(n+63)/64, 8)
+
+	fr := worklist.NewDouble(n)
+	cur[src] = 0
+	next[src].Store(0)
+	fr.Cur.Set(src)
+	active := 1
+	rounds := 0
+	for active > 0 {
+		rounds++
+		var nextActive atomic.Int64
+		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+			bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
+			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			cnt := int64(0)
+			fr.Cur.ForEachInRange(lo, hi, func(v graph.Node) {
+				dv := cur[v]
+				if dv == Infinity {
+					return
+				}
+				r.Edges.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
+				r.Weights.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
+				nbrs := r.G.OutNeighbors(v)
+				ws := r.G.OutWeightsOf(v)
+				nextArr.RandomN(t, int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				for i, d := range nbrs {
+					nd := dv + ws[i]
+					if nd < dv {
+						continue
+					}
+					if relaxMin(next, d, nd) {
+						if fr.Next.Set(d) {
+							cnt++
+						}
+					}
+				}
+			})
+			nextActive.Add(cnt)
+		})
+		// Publish the round.
+		r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
+			nextArr.ReadRange(t, lo, hi)
+			distArr.WriteRange(t, lo, hi)
+			for i := lo; i < hi; i++ {
+				cur[i] = next[i].Load()
+			}
+		})
+		fr.Swap()
+		active = int(nextActive.Load())
+	}
+	return w.finish(&Result{App: "sssp", Algorithm: "dense-wl", Rounds: rounds, Dist: append([]uint32(nil), cur...)})
+}

@@ -1,0 +1,127 @@
+// Package bench is the experiment harness: one runner per table and figure
+// in the paper's evaluation, each regenerating the corresponding rows or
+// series on the simulated machines (see DESIGN.md §4 for the index).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale selects input/machine scale (gen.ScaleFull for the paper
+	// harness, gen.ScaleSmall for quick runs and `go test -bench`).
+	Scale gen.Scale
+	// Quick trims sweeps (fewer apps/thread counts) for CI-speed runs.
+	Quick bool
+	// Out receives the formatted experiment output.
+	Out io.Writer
+}
+
+// Runner executes one experiment.
+type Runner func(Options) error
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{
+	"table1": {"Table 1: Optane PMM bandwidth (GB/s)", Table1},
+	"table2": {"Table 2: Optane PMM latency (ns)", Table2},
+	"table3": {"Table 3: inputs and their key properties", Table3},
+	"fig4a":  {"Figure 4a: NUMA-local write microbenchmark", Figure4a},
+	"fig4b":  {"Figure 4b: interleaved vs blocked, 320GB", Figure4b},
+	"fig5":   {"Figure 5: page size x NUMA migration (bfs)", Figure5},
+	"fig6":   {"Figure 6: kernel/user breakdown (bfs)", Figure6},
+	"fig7":   {"Figure 7: data-driven algorithms on Optane PMM", Figure7},
+	"fig8":   {"Figure 8: data-driven algorithms on Entropy (DRAM)", Figure8},
+	"fig9":   {"Figure 9: frameworks on Optane PMM", Figure9},
+	"fig10":  {"Figure 10: strong scaling, DRAM vs Optane PMM", Figure10},
+	"table4": {"Table 4: Optane PMM vs Stampede cluster (DM)", Table4},
+	"fig11":  {"Figure 11: cluster/Optane configurations", Figure11},
+	"table5": {"Table 5: GridGraph app-direct vs Galois memory mode", Table5},
+}
+
+// Experiments returns the registered experiment names in run order.
+func Experiments() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return orderKey(names[i]) < orderKey(names[j]) })
+	return names
+}
+
+func orderKey(name string) string {
+	// tables and figures interleave in paper order
+	order := map[string]int{
+		"table1": 1, "table2": 2, "table3": 3, "fig4a": 4, "fig4b": 5,
+		"fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9, "fig9": 10,
+		"fig10": 11, "table4": 12, "fig11": 13, "table5": 14,
+	}
+	return fmt.Sprintf("%02d", order[name])
+}
+
+// Run executes the named experiment.
+func Run(name string, opt Options) error {
+	entry, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments())
+	}
+	if opt.Scale == 0 {
+		opt.Scale = gen.ScaleSmall
+	}
+	if opt.Out == nil {
+		opt.Out = io.Discard
+	}
+	fmt.Fprintf(opt.Out, "=== %s ===\n", entry.title)
+	return entry.run(opt)
+}
+
+// Title returns the human title of an experiment.
+func Title(name string) string { return registry[name].title }
+
+// --- shared input cache ---
+
+var inputCache sync.Map // key string -> *graph.Graph
+
+// input returns the scaled stand-in for a paper input, cached per process
+// (the generators are deterministic, so sharing is safe; kernels never
+// mutate topology). The returned graph may gain weights/transpose as
+// kernels require them.
+func input(name string, scale gen.Scale) (*graph.Graph, gen.PaperRow) {
+	key := fmt.Sprintf("%s@%d", name, scale)
+	if v, ok := inputCache.Load(key); ok {
+		g := v.(*graph.Graph)
+		row, _ := gen.PaperInput(name)
+		return g, row
+	}
+	g, row := gen.MustInput(name, scale)
+	inputCache.Store(key, g)
+	return g, row
+}
+
+// machines for the current scale.
+func optaneMachine(scale gen.Scale) memsim.MachineConfig {
+	return memsim.Scaled(memsim.OptaneMachine(), scale.Div())
+}
+
+func dramMachine(scale gen.Scale) memsim.MachineConfig {
+	return memsim.Scaled(memsim.DRAMMachine(), scale.Div())
+}
+
+func entropyMachine(scale gen.Scale) memsim.MachineConfig {
+	return memsim.Scaled(memsim.EntropyMachine(), scale.Div())
+}
+
+// table returns a tabwriter over the experiment output.
+func table(out io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmemgraph/internal/gen"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Experiments()
+	if len(names) != 14 {
+		t.Fatalf("experiments = %d, want 14 (every table and figure)", len(names))
+	}
+	// Paper order.
+	want := []string{"table1", "table2", "table3", "fig4a", "fig4b", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "table5"}
+	for i, n := range names {
+		if n != want[i] {
+			t.Errorf("experiment[%d] = %s, want %s", i, n, want[i])
+		}
+		if Title(n) == "" {
+			t.Errorf("%s has no title", n)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func runToBuffer(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(name, Options{Scale: gen.ScaleSmall, Quick: true, Out: &buf}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return buf.String()
+}
+
+func TestMicroExperiments(t *testing.T) {
+	out := runToBuffer(t, "table1")
+	for _, want := range []string{"Memory", "App-direct", "Sequential", "Random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	out = runToBuffer(t, "table2")
+	if !strings.Contains(out, "Local") || !strings.Contains(out, "Remote") {
+		t.Errorf("table2 output malformed:\n%s", out)
+	}
+	out = runToBuffer(t, "fig4a")
+	if !strings.Contains(out, "320") {
+		t.Errorf("fig4a missing 320GB row:\n%s", out)
+	}
+	out = runToBuffer(t, "fig4b")
+	if !strings.Contains(out, "Blocked") {
+		t.Errorf("fig4b missing policy column:\n%s", out)
+	}
+}
+
+func TestGraphExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph experiments are slow")
+	}
+	// One representative per family; the full set runs under -bench.
+	out := runToBuffer(t, "fig7")
+	for _, want := range []string{"sparse-wl", "dense-wl", "delta-step", "labelprop-sc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing variant %q", want)
+		}
+	}
+	out = runToBuffer(t, "table4")
+	if !strings.Contains(out, "Geomean") || !strings.Contains(out, "hosts") {
+		t.Errorf("table4 output malformed:\n%s", out)
+	}
+	out = runToBuffer(t, "table5")
+	if !strings.Contains(out, "GridGraph") {
+		t.Errorf("table5 output malformed:\n%s", out)
+	}
+}
+
+func TestInputCacheReuses(t *testing.T) {
+	g1, _ := input("kron30", gen.ScaleSmall)
+	g2, _ := input("kron30", gen.ScaleSmall)
+	if g1 != g2 {
+		t.Error("input cache returned distinct graphs for same key")
+	}
+	g3, _ := input("kron30", gen.ScaleFull)
+	if g1 == g3 {
+		t.Error("different scales must not share a cache entry")
+	}
+}
+
+func TestMachineConstructors(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		div  int64
+	}{
+		{optaneMachine(gen.ScaleSmall).Name, gen.ScaleSmall.Div()},
+		{dramMachine(gen.ScaleSmall).Name, gen.ScaleSmall.Div()},
+		{entropyMachine(gen.ScaleSmall).Name, gen.ScaleSmall.Div()},
+	} {
+		if cfg.name == "" {
+			t.Error("unnamed machine config")
+		}
+	}
+	o := optaneMachine(gen.ScaleFull)
+	s := optaneMachine(gen.ScaleSmall)
+	if o.DRAMPerSocket <= s.DRAMPerSocket {
+		t.Error("full scale should have more near-memory than small scale")
+	}
+}

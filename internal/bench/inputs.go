@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"fmt"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/stats"
+)
+
+// Table3 regenerates the input-property table, printing the scaled
+// stand-ins next to the paper's originals. The properties the paper's
+// findings rest on — |E|/|V| ratio and diameter class — must match; raw
+// counts are scaled by design.
+func Table3(opt Options) error {
+	w := table(opt.Out)
+	fmt.Fprintln(w, "Input\t|V|\t|E|\t|E|/|V|\tmax Dout\tmax Din\tEst. diam\tCSR size\t(paper |V|, |E|/|V|, diam)")
+	for _, name := range gen.InputNames() {
+		g, row := input(name, opt.Scale)
+		p := g.Props()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%d\t%d\t%d\t%s\t(%dM, %d, %d)\n",
+			name, p.Nodes, p.Edges, p.AvgDegree, p.MaxOutDegree, p.MaxInDegree,
+			p.EstDiameter, stats.HumanBytes(p.CSRBytes),
+			row.Nodes/1e6, row.AvgDegree, row.EstDiameter)
+	}
+	return w.Flush()
+}

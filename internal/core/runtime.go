@@ -1,0 +1,296 @@
+// Package core implements the paper's primary contribution: a Galois-style
+// shared-memory graph analytics runtime embodying the practices §4-§5
+// recommend for Optane PMM and other large-memory machines:
+//
+//   - explicit application-level NUMA allocation (interleaved or blocked),
+//     never OS-delegated local allocation, for graph-sized data (§4.1)
+//   - explicit 2 MB huge pages rather than THP (§4.3), with migration
+//     expected to be off (§4.2; migration is a machine-level setting)
+//   - allocation of only the edge direction(s) an algorithm needs (§6.1)
+//   - support for non-vertex operators and sparse worklists so
+//     asynchronous data-driven algorithms are expressible (§5)
+//
+// A Runtime binds one graph to one simulated machine: it allocates the
+// graph's CSR arrays on the machine and provides the parallel-execution and
+// access-charging primitives the kernels in internal/analytics build on.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// Options configures a Runtime. The zero value is not useful; call
+// GaloisDefaults or a frameworks profile for a ready-made configuration.
+type Options struct {
+	// Threads is the number of virtual hardware threads parallel
+	// sections use.
+	Threads int
+	// GraphPolicy places the CSR topology arrays; NodePolicy places
+	// per-vertex label arrays.
+	GraphPolicy memsim.Policy
+	NodePolicy  memsim.Policy
+	// PageSize backs every allocation (0 = machine default). Galois
+	// passes memsim.PageHuge explicitly.
+	PageSize int64
+	// THP marks allocations as relying on transparent huge pages
+	// (framework emulations that mmap 4 KB pages and let the OS
+	// promote).
+	THP bool
+	// BothDirections allocates in-edges alongside out-edges regardless
+	// of need (GAP/GBBS/GraphIt behaviour §6.1). When false, in-edge
+	// arrays are allocated only if the graph's transpose is present.
+	BothDirections bool
+	// Weighted allocates the edge-weight array.
+	Weighted bool
+}
+
+// GaloisDefaults returns the configuration the paper recommends: explicit
+// huge pages, interleaved placement, needed directions only.
+func GaloisDefaults(threads int) Options {
+	return Options{
+		Threads:     threads,
+		GraphPolicy: memsim.Interleaved,
+		NodePolicy:  memsim.Interleaved,
+		PageSize:    memsim.PageHuge,
+	}
+}
+
+// Runtime binds a graph to a simulated machine.
+type Runtime struct {
+	M *memsim.Machine
+	G *graph.Graph
+
+	// Simulated allocations mirroring the CSR arrays.
+	Offsets, Edges, Weights       *memsim.Array
+	InOffsets, InEdges, InWeights *memsim.Array
+
+	opts Options
+	node []*memsim.Array // node arrays allocated through the runtime
+}
+
+// New builds a Runtime: it allocates (and warms) the graph's topology
+// arrays on m according to opts. Warm-up models the paper's exclusion of
+// graph loading and construction time from all reported numbers.
+func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = m.Config().MaxThreads()
+	}
+	if opts.BothDirections {
+		g.BuildIn()
+	}
+	r := &Runtime{M: m, G: g, opts: opts}
+	n := int64(g.NumNodes())
+	e := g.NumEdges()
+
+	alloc := func(name string, length, elem int64) (*memsim.Array, error) {
+		a, err := m.Alloc(name, length, elem, memsim.AllocOpts{
+			Policy:       opts.GraphPolicy,
+			BlockThreads: opts.Threads,
+			PageSize:     opts.PageSize,
+			THP:          opts.THP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: allocating %s: %w", name, err)
+		}
+		a.Warm()
+		return a, nil
+	}
+
+	var err error
+	if r.Offsets, err = alloc("csr.offsets", n+1, 8); err != nil {
+		return nil, err
+	}
+	if r.Edges, err = alloc("csr.edges", e, 4); err != nil {
+		return nil, err
+	}
+	if opts.Weighted {
+		if r.Weights, err = alloc("csr.weights", e, 4); err != nil {
+			return nil, err
+		}
+	}
+	if opts.BothDirections || g.HasIn() {
+		g.BuildIn()
+		if r.InOffsets, err = alloc("csr.in.offsets", n+1, 8); err != nil {
+			return nil, err
+		}
+		if r.InEdges, err = alloc("csr.in.edges", e, 4); err != nil {
+			return nil, err
+		}
+		if opts.Weighted {
+			if r.InWeights, err = alloc("csr.in.weights", e, 4); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// MustNew is New that panics on error, for configurations the caller has
+// already validated.
+func MustNew(m *memsim.Machine, g *graph.Graph, opts Options) *Runtime {
+	r, err := New(m, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Opts returns the runtime's configuration.
+func (r *Runtime) Opts() Options { return r.opts }
+
+// Threads returns the configured thread count.
+func (r *Runtime) Threads() int { return r.opts.Threads }
+
+// Close frees every allocation made through the runtime, releasing its
+// simulated footprint.
+func (r *Runtime) Close() {
+	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights} {
+		if a != nil {
+			r.M.Free(a)
+		}
+	}
+	for _, a := range r.node {
+		r.M.Free(a)
+	}
+	r.node = nil
+}
+
+// NodeArray allocates a per-vertex array of elem-byte elements with the
+// runtime's node placement policy. The array is tracked and freed by Close.
+func (r *Runtime) NodeArray(name string, elem int64) *memsim.Array {
+	a := r.M.MustAlloc(name, int64(r.G.NumNodes()), elem, memsim.AllocOpts{
+		Policy:       r.opts.NodePolicy,
+		BlockThreads: r.opts.Threads,
+		PageSize:     r.opts.PageSize,
+		THP:          r.opts.THP,
+	})
+	r.node = append(r.node, a)
+	return a
+}
+
+// ScratchArray allocates an arbitrary-length tracked array (worklist
+// storage, per-level queues).
+func (r *Runtime) ScratchArray(name string, length, elem int64) *memsim.Array {
+	a := r.M.MustAlloc(name, length, elem, memsim.AllocOpts{
+		Policy:       r.opts.NodePolicy,
+		BlockThreads: r.opts.Threads,
+		PageSize:     r.opts.PageSize,
+		THP:          r.opts.THP,
+	})
+	r.node = append(r.node, a)
+	return a
+}
+
+// ParallelVerts distributes the vertex range across the runtime's threads
+// with dynamic chunked scheduling (Galois-style work distribution): threads
+// grab fixed-size chunks from a shared cursor, so degree-skewed inputs
+// (web-crawl hubs) do not serialize on one unlucky thread.
+func (r *Runtime) ParallelVerts(fn func(t *memsim.Thread, lo, hi graph.Node)) memsim.RegionStats {
+	return r.ParallelItems(int64(r.G.NumNodes()), func(t *memsim.Thread, lo, hi int64) {
+		fn(t, graph.Node(lo), graph.Node(hi))
+	})
+}
+
+// ParallelItems distributes [0, n) across threads in dynamically scheduled
+// chunks.
+func (r *Runtime) ParallelItems(n int64, fn func(t *memsim.Thread, lo, hi int64)) memsim.RegionStats {
+	threads := clampThreads(r)
+	chunk := n / int64(threads*8)
+	if chunk < 64 {
+		chunk = 64
+	}
+	var cursor atomic.Int64
+	return r.M.Parallel(threads, func(t *memsim.Thread) {
+		for {
+			lo := cursor.Add(chunk) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(t, lo, hi)
+		}
+	})
+}
+
+// Parallel runs fn on every configured thread with no pre-partitioned
+// work; asynchronous kernels use it with a shared worklist.
+func (r *Runtime) Parallel(fn func(t *memsim.Thread)) memsim.RegionStats {
+	return r.M.Parallel(clampThreads(r), fn)
+}
+
+func clampThreads(r *Runtime) int {
+	threads := r.opts.Threads
+	if max := r.M.Config().MaxThreads(); threads > max {
+		threads = max
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
+}
+
+// OutScan charges the reads that visiting v's out-edges performs (offset
+// pair, edge list, and weights if requested) and returns the neighbor
+// slice.
+func (r *Runtime) OutScan(t *memsim.Thread, v graph.Node, weights bool) []graph.Node {
+	r.Offsets.ReadN(t, int64(v), 2)
+	lo, hi := r.G.OutOffsets[v], r.G.OutOffsets[v+1]
+	r.Edges.ReadRange(t, lo, hi)
+	if weights && r.Weights != nil {
+		r.Weights.ReadRange(t, lo, hi)
+	}
+	return r.G.OutEdges[lo:hi]
+}
+
+// InScan is OutScan for the in-direction; the transpose must be allocated.
+func (r *Runtime) InScan(t *memsim.Thread, v graph.Node, weights bool) []graph.Node {
+	r.InOffsets.ReadN(t, int64(v), 2)
+	lo, hi := r.G.InOffsets[v], r.G.InOffsets[v+1]
+	r.InEdges.ReadRange(t, lo, hi)
+	if weights && r.InWeights != nil {
+		r.InWeights.ReadRange(t, lo, hi)
+	}
+	return r.G.InEdges[lo:hi]
+}
+
+// OutScanPrefix charges reads for only the first k out-neighbors of v
+// (early-exit scans, e.g. direction-optimizing pull).
+func (r *Runtime) OutScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.Node {
+	r.Offsets.ReadN(t, int64(v), 2)
+	lo, hi := r.G.OutOffsets[v], r.G.OutOffsets[v+1]
+	if lo+k < hi {
+		hi = lo + k
+	}
+	r.Edges.ReadRange(t, lo, hi)
+	return r.G.OutEdges[lo:hi]
+}
+
+// InScanPrefix charges reads for only the first k in-neighbors of v.
+func (r *Runtime) InScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.Node {
+	r.InOffsets.ReadN(t, int64(v), 2)
+	lo, hi := r.G.InOffsets[v], r.G.InOffsets[v+1]
+	if lo+k < hi {
+		hi = lo + k
+	}
+	r.InEdges.ReadRange(t, lo, hi)
+	return r.G.InEdges[lo:hi]
+}
+
+// FootprintBytes reports the simulated bytes allocated for the graph's
+// topology (the §6.1 both-directions-vs-needed-direction comparison).
+func (r *Runtime) FootprintBytes() int64 {
+	var total int64
+	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights} {
+		if a != nil {
+			total += a.Bytes()
+		}
+	}
+	return total
+}

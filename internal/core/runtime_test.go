@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/memsim"
+)
+
+func newTestMachine() *memsim.Machine {
+	return memsim.NewMachine(memsim.Scaled(memsim.OptaneMachine(), 32))
+}
+
+func TestNewAllocatesNeededDirectionsOnly(t *testing.T) {
+	g := gen.ErdosRenyi(1000, 8000, 1)
+	r, err := New(newTestMachine(), g, GaloisDefaults(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.InOffsets != nil || r.InEdges != nil {
+		t.Error("in-edges allocated without BothDirections")
+	}
+	if r.Weights != nil {
+		t.Error("weights allocated without Weighted")
+	}
+	fwd := r.FootprintBytes()
+
+	opts := GaloisDefaults(8)
+	opts.BothDirections = true
+	r2, err := New(newTestMachine(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.InOffsets == nil {
+		t.Fatal("in-edges missing with BothDirections")
+	}
+	if r2.FootprintBytes() <= fwd {
+		t.Errorf("both-directions footprint %d should exceed out-only %d (§6.1)", r2.FootprintBytes(), fwd)
+	}
+}
+
+func TestWeightedNeedsGraphWeights(t *testing.T) {
+	g := gen.ErdosRenyi(100, 500, 2)
+	g.AddRandomWeights(10, 3)
+	opts := GaloisDefaults(4)
+	opts.Weighted = true
+	r, err := New(newTestMachine(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Weights == nil {
+		t.Error("weights array missing")
+	}
+}
+
+func TestCloseReleasesFootprint(t *testing.T) {
+	m := newTestMachine()
+	g := gen.ErdosRenyi(2000, 16000, 5)
+	r, err := New(m, g, GaloisDefaults(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.NodeArray("labels", 4)
+	r.ScratchArray("wl", 100, 8)
+	before := m.FootprintOnSocket(0) + m.FootprintOnSocket(1)
+	if before == 0 {
+		t.Fatal("no footprint registered")
+	}
+	r.Close()
+	after := m.FootprintOnSocket(0) + m.FootprintOnSocket(1)
+	if after != 0 {
+		t.Errorf("footprint after close = %d, want 0", after)
+	}
+}
+
+func TestParallelVertsCoversAll(t *testing.T) {
+	g := gen.Path(101)
+	r, err := New(newTestMachine(), g, GaloisDefaults(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	seen := make([]bool, 101)
+	var coverage [101]int32
+	r.ParallelVerts(func(th *memsim.Thread, lo, hi uint32) {
+		for v := lo; v < hi; v++ {
+			coverage[v]++
+		}
+	})
+	for v, c := range coverage {
+		if c != 1 {
+			t.Fatalf("vertex %d covered %d times", v, c)
+		}
+	}
+	_ = seen
+}
+
+func TestParallelItemsEmptyRange(t *testing.T) {
+	g := gen.Path(4)
+	r, err := New(newTestMachine(), g, GaloisDefaults(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	calls := 0
+	r.ParallelItems(0, func(th *memsim.Thread, lo, hi int64) { calls++ })
+	if calls != 0 {
+		t.Errorf("empty range invoked fn %d times", calls)
+	}
+}
+
+func TestOutScanChargesAndReturnsNeighbors(t *testing.T) {
+	g := gen.Star(10)
+	m := newTestMachine()
+	r, err := New(m, g, GaloisDefaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	before := m.Counters().Reads
+	var n int
+	r.Parallel(func(th *memsim.Thread) {
+		n = len(r.OutScan(th, 0, false))
+	})
+	if n != 9 {
+		t.Errorf("star center neighbors = %d, want 9", n)
+	}
+	if m.Counters().Reads <= before {
+		t.Error("OutScan charged no reads")
+	}
+}
+
+func TestInScanRequiresTranspose(t *testing.T) {
+	g := gen.Star(6)
+	opts := GaloisDefaults(1)
+	opts.BothDirections = true
+	r, err := New(newTestMachine(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var n int
+	r.Parallel(func(th *memsim.Thread) {
+		n = len(r.InScan(th, 0, false))
+	})
+	if n != 5 {
+		t.Errorf("star center in-neighbors = %d, want 5", n)
+	}
+}
+
+func TestScanPrefixChargesLess(t *testing.T) {
+	g := gen.Star(1000)
+	m := newTestMachine()
+	r, err := New(m, g, GaloisDefaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Parallel(func(th *memsim.Thread) {
+		full := r.OutScan(th, 0, false)
+		if len(full) != 999 {
+			t.Errorf("full scan = %d", len(full))
+		}
+	})
+	fullBytes := m.Counters().BytesRead
+	m.ResetClock()
+	r.Parallel(func(th *memsim.Thread) {
+		pre := r.OutScanPrefix(th, 0, 10)
+		if len(pre) != 10 {
+			t.Errorf("prefix scan = %d", len(pre))
+		}
+	})
+	if m.Counters().BytesRead >= fullBytes {
+		t.Error("prefix scan charged as much as full scan")
+	}
+}
+
+func TestThreadsClamp(t *testing.T) {
+	g := gen.Path(10)
+	opts := GaloisDefaults(100000)
+	r, err := New(newTestMachine(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	stats := r.Parallel(func(th *memsim.Thread) {})
+	if stats.Threads != 96 {
+		t.Errorf("threads = %d, want clamp to 96", stats.Threads)
+	}
+}
+
+func TestZeroThreadsDefaultsToMachine(t *testing.T) {
+	g := gen.Path(10)
+	r, err := New(newTestMachine(), g, Options{GraphPolicy: memsim.Interleaved, PageSize: memsim.PageHuge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Threads() != 96 {
+		t.Errorf("threads defaulted to %d, want 96", r.Threads())
+	}
+}

@@ -1,0 +1,243 @@
+package distsim
+
+import (
+	"testing"
+
+	"pmemgraph/internal/analytics"
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+func testEngine(t *testing.T, g *graph.Graph, hosts int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig(hosts, 32)
+	cfg.ThreadsPerHost = 8
+	e, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// galoisResult runs the single-machine kernel for comparison.
+func galoisRuntime(t *testing.T, g *graph.Graph, weighted, both bool) *core.Runtime {
+	t.Helper()
+	m := memsim.NewMachine(memsim.Scaled(memsim.OptaneMachine(), 32))
+	opts := core.GaloisDefaults(8)
+	opts.Weighted = weighted
+	opts.BothDirections = both
+	r, err := core.New(m, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	g := gen.ErdosRenyi(500, 3000, 1)
+	e := testEngine(t, g, 5)
+	seen := make([]bool, g.NumNodes())
+	for h := 0; h < e.Hosts(); h++ {
+		for v := e.hostLo[h]; v < e.hostHi[h]; v++ {
+			if seen[v] {
+				t.Fatalf("vertex %d assigned twice", v)
+			}
+			seen[v] = true
+			if e.Owner(v) != h {
+				t.Fatalf("owner(%d) = %d, want %d", v, e.Owner(v), h)
+			}
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+}
+
+func TestPartitionBalancesEdges(t *testing.T) {
+	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 7, false)
+	e := testEngine(t, g, 4)
+	total := g.NumEdges()
+	for h := 0; h < 4; h++ {
+		lo, hi := e.hostLo[h], e.hostHi[h]
+		local := g.OutOffsets[hi] - g.OutOffsets[lo]
+		if local > total {
+			t.Fatalf("host %d holds more edges than exist", h)
+		}
+		// Skewed graphs cannot balance perfectly; just require no
+		// host holds more than 60% of edges.
+		if float64(local) > 0.6*float64(total) {
+			t.Errorf("host %d holds %d of %d edges (unbalanced)", h, local, total)
+		}
+	}
+}
+
+func TestMinHosts(t *testing.T) {
+	host := memsim.Scaled(memsim.StampedeHost(), 32)
+	perHost := host.DRAMPerSocket * int64(host.Sockets)
+	if got := MinHosts(perHost/2, host); got != 1 {
+		t.Errorf("half-host graph needs %d hosts, want 1", got)
+	}
+	if got := MinHosts(perHost*4, host); got < 5 {
+		t.Errorf("4x-host graph needs %d hosts, want >= 5 (replication headroom)", got)
+	}
+	if got := MinHosts(0, host); got != 1 {
+		t.Errorf("empty graph needs %d hosts", got)
+	}
+}
+
+func TestEngineRejectsBadHosts(t *testing.T) {
+	g := gen.Path(10)
+	if _, err := NewEngine(g, DefaultConfig(0, 32)); err == nil {
+		t.Error("zero hosts accepted")
+	}
+}
+
+func TestDistBFSMatchesSingleMachine(t *testing.T) {
+	for _, hosts := range []int{1, 3, 5} {
+		g := gen.WebCrawl(3000, 6, 60, 9)
+		src, _ := g.MaxOutDegreeNode()
+		e := testEngine(t, g, hosts)
+		res := e.BFS(src)
+		want := analytics.BFSSparse(galoisRuntime(t, g, false, false), src)
+		for v := range want.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				t.Fatalf("hosts=%d: dist[%d] = %d, want %d", hosts, v, res.Dist[v], want.Dist[v])
+			}
+		}
+		if res.Seconds <= 0 {
+			t.Errorf("hosts=%d: no simulated time", hosts)
+		}
+	}
+}
+
+func TestDistSSSPMatchesSingleMachine(t *testing.T) {
+	g := gen.ErdosRenyi(800, 6000, 4)
+	g.AddRandomWeights(32, 5)
+	src, _ := g.MaxOutDegreeNode()
+	e := testEngine(t, g, 4)
+	res := e.SSSP(src)
+	want := analytics.SSSPDeltaStep(galoisRuntime(t, g, true, false), src, 8)
+	for v := range want.Dist {
+		if res.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+func TestDistCCFindsComponents(t *testing.T) {
+	// Two disjoint cycles.
+	var edges []graph.Edge
+	for i := 0; i < 50; i++ {
+		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node((i + 1) % 50)})
+	}
+	for i := 50; i < 100; i++ {
+		next := i + 1
+		if next == 100 {
+			next = 50
+		}
+		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node(next)})
+	}
+	g := graph.FromEdges(100, edges, false, false)
+	e := testEngine(t, g, 3)
+	res := e.CC()
+	for v := 0; v < 50; v++ {
+		if res.Labels[v] != 0 {
+			t.Fatalf("label[%d] = %d, want 0", v, res.Labels[v])
+		}
+	}
+	for v := 50; v < 100; v++ {
+		if res.Labels[v] != 50 {
+			t.Fatalf("label[%d] = %d, want 50", v, res.Labels[v])
+		}
+	}
+}
+
+func TestDistPRConverges(t *testing.T) {
+	g := gen.ErdosRenyi(400, 3200, 13)
+	e := testEngine(t, g, 4)
+	res := e.PR(1e-8, 100)
+	sum := 0.0
+	for _, x := range res.Rank {
+		sum += x
+	}
+	if sum < 0.5 || sum > 1.01 {
+		t.Errorf("rank mass = %v", sum)
+	}
+	if res.Rounds < 2 || res.Rounds > 100 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestDistKCore(t *testing.T) {
+	g := gen.Star(30)
+	e := testEngine(t, g, 2)
+	res := e.KCore(3)
+	// Star center has degree 58 undirected; spokes have 2 (<3): all
+	// spokes peel, then the center loses all degree and peels too.
+	for v, in := range res.InCore {
+		if in {
+			t.Errorf("node %d should not survive 3-core of a star", v)
+		}
+	}
+}
+
+func TestDistBCMatchesSingleMachine(t *testing.T) {
+	g := gen.Grid(7, 8)
+	src := graph.Node(0)
+	e := testEngine(t, g, 3)
+	res := e.BC(src)
+	want := analytics.BC(galoisRuntime(t, g, false, false), src, analytics.BCOptions{})
+	for v := range want.Centrality {
+		if diff := res.Centrality[v] - want.Centrality[v]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("bc[%d] = %g, want %g", v, res.Centrality[v], want.Centrality[v])
+		}
+	}
+}
+
+func TestCommScalesWithHosts(t *testing.T) {
+	g := gen.ErdosRenyi(2000, 16000, 21)
+	one := testEngine(t, g, 1)
+	one.BFS(0)
+	many := testEngine(t, g, 8)
+	many.BFS(0)
+	if one.BytesSent() != 0 {
+		t.Errorf("single host sent %d bytes, want 0", one.BytesSent())
+	}
+	if many.BytesSent() == 0 {
+		t.Error("8 hosts sent no bytes")
+	}
+	if many.CommSeconds() <= one.CommSeconds() {
+		t.Errorf("comm time should grow with hosts: 1 host %.6f vs 8 hosts %.6f", one.CommSeconds(), many.CommSeconds())
+	}
+}
+
+func TestCVCCommFactorBelowOEC(t *testing.T) {
+	g := gen.ErdosRenyi(1000, 8000, 2)
+	cfgO := DefaultConfig(16, 32)
+	cfgO.Partition = OEC
+	cfgO.ThreadsPerHost = 4
+	cfgC := cfgO
+	cfgC.Partition = CVC
+	eo, err := NewEngine(g, cfgO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := NewEngine(g, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if of, cf := eo.commFactor(), ec.commFactor(); cf >= of {
+		t.Errorf("CVC comm factor %v should be below OEC %v at 16 hosts", cf, of)
+	}
+}
+
+func TestPartitionString(t *testing.T) {
+	if OEC.String() != "oec" || CVC.String() != "cvc" {
+		t.Error("partition strings")
+	}
+}

@@ -1,0 +1,165 @@
+package frameworks
+
+import (
+	"testing"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/memsim"
+)
+
+func testMachine() *memsim.Machine {
+	return memsim.NewMachine(memsim.Scaled(memsim.OptaneMachine(), 32))
+}
+
+func TestProfileInventoryMatchesPaper(t *testing.T) {
+	// §6.1: kcore missing from GAP and GraphIt; bc missing from GraphIt.
+	if GAP.Supports("kcore") || GraphIt.Supports("kcore") {
+		t.Error("GAP/GraphIt should not implement kcore")
+	}
+	if GraphIt.Supports("bc") {
+		t.Error("GraphIt should not implement bc")
+	}
+	for _, app := range Apps() {
+		if !Galois.Supports(app) || !GBBS.Supports(app) {
+			t.Errorf("Galois and GBBS should support %s", app)
+		}
+	}
+	if len(All()) != 4 {
+		t.Error("expected 4 frameworks")
+	}
+}
+
+func TestOnlyGaloisUsesHugePagesAndSparseWorklists(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "Galois" {
+			if !p.ExplicitHugePages || !p.SparseWorklists || !p.NonVertexPrograms || !p.AppNUMA {
+				t.Error("Galois profile missing its §6.1 capabilities")
+			}
+			continue
+		}
+		if p.ExplicitHugePages || p.SparseWorklists || p.NonVertexPrograms || p.AppNUMA {
+			t.Errorf("%s should not have Galois-only capabilities", p.Name)
+		}
+		if !p.BothDirections {
+			t.Errorf("%s should allocate both directions", p.Name)
+		}
+	}
+}
+
+func TestOptionsPageSizes(t *testing.T) {
+	g := Galois.Options("bfs", 8)
+	if g.PageSize != memsim.PageHuge || g.THP {
+		t.Error("Galois should use explicit huge pages")
+	}
+	o := GAP.Options("bfs", 8)
+	if o.PageSize != memsim.PageSmall || !o.THP {
+		t.Error("GAP should use 4KB pages with THP")
+	}
+}
+
+func TestGaloisPerAppPolicies(t *testing.T) {
+	bfs := Galois.Options("bfs", 8)
+	if bfs.GraphPolicy != memsim.Interleaved {
+		t.Error("Galois bfs should interleave")
+	}
+	pr := Galois.Options("pr", 8)
+	if pr.GraphPolicy != memsim.Blocked {
+		t.Error("Galois pr should use blocked placement")
+	}
+	bc := Galois.Options("bc", 8)
+	if bc.GraphPolicy != memsim.Blocked {
+		t.Error("Galois bc should use blocked placement")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	g := gen.Star(100)
+	p := DefaultParams(g)
+	if p.Source != 0 {
+		t.Errorf("source = %d, want star center 0", p.Source)
+	}
+	if p.K < 2 {
+		t.Errorf("k = %d", p.K)
+	}
+	if p.Tol <= 0 || p.Rounds <= 0 {
+		t.Error("pr params unset")
+	}
+	dense := gen.Complete(60)
+	if DefaultParams(dense).K <= DefaultParams(g).K {
+		t.Error("denser graph should get larger k")
+	}
+}
+
+func TestRunRejectsUnsupportedApp(t *testing.T) {
+	g := gen.Path(10)
+	if _, err := GraphIt.RunOn(testMachine(), g, "bc", 4, DefaultParams(g)); err == nil {
+		t.Error("GraphIt bc should fail")
+	}
+	if _, err := GAP.RunOn(testMachine(), g, "kcore", 4, DefaultParams(g)); err == nil {
+		t.Error("GAP kcore should fail")
+	}
+	if _, err := Galois.RunOn(testMachine(), g, "nonsense", 4, DefaultParams(g)); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestAllFrameworksRunAllSupportedApps(t *testing.T) {
+	g := gen.ErdosRenyi(400, 3200, 9)
+	params := DefaultParams(g)
+	for _, p := range All() {
+		for _, app := range Apps() {
+			if !p.Supports(app) {
+				continue
+			}
+			res, err := p.RunOn(testMachine(), g, app, 8, params)
+			if err != nil {
+				t.Errorf("%s/%s: %v", p.Name, app, err)
+				continue
+			}
+			if res.Seconds <= 0 {
+				t.Errorf("%s/%s: no simulated time", p.Name, app)
+			}
+			if res.App != app {
+				t.Errorf("%s/%s: result app = %q", p.Name, app, res.App)
+			}
+		}
+	}
+}
+
+func TestFrameworksAgreeOnAnswers(t *testing.T) {
+	g := gen.WebCrawl(2500, 6, 50, 31)
+	params := DefaultParams(g)
+	var bfsDists [][]uint32
+	for _, p := range All() {
+		res, err := p.RunOn(testMachine(), g, "bfs", 8, params)
+		if err != nil {
+			t.Fatalf("%s bfs: %v", p.Name, err)
+		}
+		bfsDists = append(bfsDists, res.Dist)
+	}
+	for i := 1; i < len(bfsDists); i++ {
+		for v := range bfsDists[0] {
+			if bfsDists[i][v] != bfsDists[0][v] {
+				t.Fatalf("framework %d disagrees on dist[%d]", i, v)
+			}
+		}
+	}
+}
+
+func TestGaloisFastestOnHighDiameterBFS(t *testing.T) {
+	// Figure 9's qualitative claim: Galois beats the dense/vertex-only
+	// frameworks on high-diameter inputs.
+	g := gen.WebCrawl(15000, 8, 300, 41)
+	params := DefaultParams(g)
+	galois, err := Galois.RunOn(testMachine(), g, "bfs", 16, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphit, err := GraphIt.RunOn(testMachine(), g, "bfs", 16, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if galois.Seconds >= graphit.Seconds {
+		t.Errorf("Galois bfs (%.4fs) should beat GraphIt (%.4fs) on a high-diameter web crawl", galois.Seconds, graphit.Seconds)
+	}
+}

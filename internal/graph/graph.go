@@ -1,0 +1,287 @@
+// Package graph provides the immutable Compressed Sparse Row (CSR) graph
+// representation shared by every system in this repository: the in-memory
+// analytics engine, the framework emulations, the distributed-execution
+// simulator, and the out-of-core simulator.
+//
+// Node IDs are uint32, matching the paper's observation that GAP, GraphIt
+// and GridGraph store node IDs in 32 bits (and therefore cannot load graphs
+// with more than 2^31-1 nodes); edge indices are int64 so edge counts are
+// not similarly limited.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a vertex identifier.
+type Node = uint32
+
+// Graph is an immutable directed graph in CSR form. The out-direction is
+// always present; the in-direction (transpose) is built on demand and is
+// required only by pull-style and direction-optimizing operators.
+type Graph struct {
+	// OutOffsets has length NumNodes()+1; the out-edges of node v are
+	// OutEdges[OutOffsets[v]:OutOffsets[v+1]].
+	OutOffsets []int64
+	OutEdges   []Node
+	// OutWeights parallels OutEdges; nil for unweighted graphs.
+	OutWeights []uint32
+
+	// In-direction (transpose); nil until BuildIn is called.
+	InOffsets []int64
+	InEdges   []Node
+	InWeights []uint32
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.OutOffsets) - 1 }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int64 { return int64(len(g.OutEdges)) }
+
+// HasWeights reports whether edge weights are present.
+func (g *Graph) HasWeights() bool { return g.OutWeights != nil }
+
+// HasIn reports whether the transpose has been built.
+func (g *Graph) HasIn() bool { return g.InOffsets != nil }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v Node) int64 {
+	return g.OutOffsets[v+1] - g.OutOffsets[v]
+}
+
+// InDegree returns the in-degree of v; BuildIn must have been called.
+func (g *Graph) InDegree(v Node) int64 {
+	return g.InOffsets[v+1] - g.InOffsets[v]
+}
+
+// OutNeighbors returns the out-adjacency slice of v. The slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) OutNeighbors(v Node) []Node {
+	return g.OutEdges[g.OutOffsets[v]:g.OutOffsets[v+1]]
+}
+
+// OutWeightsOf returns the weight slice parallel to OutNeighbors(v).
+func (g *Graph) OutWeightsOf(v Node) []uint32 {
+	return g.OutWeights[g.OutOffsets[v]:g.OutOffsets[v+1]]
+}
+
+// InNeighbors returns the in-adjacency slice of v; BuildIn must have been
+// called.
+func (g *Graph) InNeighbors(v Node) []Node {
+	return g.InEdges[g.InOffsets[v]:g.InOffsets[v+1]]
+}
+
+// InWeightsOf returns the weight slice parallel to InNeighbors(v).
+func (g *Graph) InWeightsOf(v Node) []uint32 {
+	return g.InWeights[g.InOffsets[v]:g.InOffsets[v+1]]
+}
+
+// Validate checks structural invariants; it is used by tests and by the
+// binary deserializer.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if n < 0 {
+		return fmt.Errorf("graph: negative node count")
+	}
+	if g.OutOffsets[0] != 0 {
+		return fmt.Errorf("graph: OutOffsets[0] = %d, want 0", g.OutOffsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.OutOffsets[v+1] < g.OutOffsets[v] {
+			return fmt.Errorf("graph: OutOffsets not monotone at node %d", v)
+		}
+	}
+	if g.OutOffsets[n] != int64(len(g.OutEdges)) {
+		return fmt.Errorf("graph: OutOffsets[n]=%d != |E|=%d", g.OutOffsets[n], len(g.OutEdges))
+	}
+	for i, d := range g.OutEdges {
+		if int(d) >= n {
+			return fmt.Errorf("graph: edge %d targets node %d >= n=%d", i, d, n)
+		}
+	}
+	if g.OutWeights != nil && len(g.OutWeights) != len(g.OutEdges) {
+		return fmt.Errorf("graph: weights length %d != edges length %d", len(g.OutWeights), len(g.OutEdges))
+	}
+	if g.HasIn() {
+		if int64(len(g.InEdges)) != g.NumEdges() {
+			return fmt.Errorf("graph: in-edge count %d != out-edge count %d", len(g.InEdges), g.NumEdges())
+		}
+	}
+	return nil
+}
+
+// BuildIn constructs the transpose (in-edges) with counting sort. It is
+// idempotent.
+func (g *Graph) BuildIn() {
+	if g.HasIn() {
+		return
+	}
+	n := g.NumNodes()
+	inOff := make([]int64, n+1)
+	for _, d := range g.OutEdges {
+		inOff[d+1]++
+	}
+	for v := 0; v < n; v++ {
+		inOff[v+1] += inOff[v]
+	}
+	inEdges := make([]Node, len(g.OutEdges))
+	var inWeights []uint32
+	if g.OutWeights != nil {
+		inWeights = make([]uint32, len(g.OutEdges))
+	}
+	cursor := make([]int64, n)
+	copy(cursor, inOff[:n])
+	for v := 0; v < n; v++ {
+		lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+		for i := lo; i < hi; i++ {
+			d := g.OutEdges[i]
+			c := cursor[d]
+			inEdges[c] = Node(v)
+			if inWeights != nil {
+				inWeights[c] = g.OutWeights[i]
+			}
+			cursor[d] = c + 1
+		}
+	}
+	g.InOffsets = inOff
+	g.InEdges = inEdges
+	g.InWeights = inWeights
+}
+
+// DropIn releases the transpose, e.g. after a direction-optimizing run, to
+// mirror frameworks that free unneeded directions.
+func (g *Graph) DropIn() {
+	g.InOffsets, g.InEdges, g.InWeights = nil, nil, nil
+}
+
+// Edge is one directed edge with an optional weight, used by builders and
+// generators.
+type Edge struct {
+	Src, Dst Node
+	Weight   uint32
+}
+
+// FromEdges builds a CSR graph with n nodes from an edge list. Edges are
+// sorted per source; parallel edges and self-loops are kept unless dedupe
+// is set (triangle counting requires deduplicated, loop-free input).
+func FromEdges(n int, edges []Edge, weighted, dedupe bool) *Graph {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	if dedupe {
+		out := edges[:0]
+		for _, e := range edges {
+			if e.Src == e.Dst {
+				continue
+			}
+			if len(out) > 0 && out[len(out)-1].Src == e.Src && out[len(out)-1].Dst == e.Dst {
+				continue
+			}
+			out = append(out, e)
+		}
+		edges = out
+	}
+	g := &Graph{
+		OutOffsets: make([]int64, n+1),
+		OutEdges:   make([]Node, len(edges)),
+	}
+	if weighted {
+		g.OutWeights = make([]uint32, len(edges))
+	}
+	for _, e := range edges {
+		g.OutOffsets[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.OutOffsets[v+1] += g.OutOffsets[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.OutOffsets[:n])
+	for _, e := range edges {
+		c := cursor[e.Src]
+		g.OutEdges[c] = e.Dst
+		if weighted {
+			g.OutWeights[c] = e.Weight
+		}
+		cursor[e.Src] = c + 1
+	}
+	return g
+}
+
+// AddRandomWeights assigns pseudo-random weights in [1, maxWeight] to every
+// edge, as the paper does for sssp on unweighted inputs ("all graphs are
+// unweighted, so we generate random weights").
+func (g *Graph) AddRandomWeights(maxWeight uint32, seed uint64) {
+	if maxWeight == 0 {
+		maxWeight = 1
+	}
+	w := make([]uint32, len(g.OutEdges))
+	x := seed | 1
+	for i := range w {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		w[i] = uint32((x*0x2545F4914F6CDD1D)%uint64(maxWeight)) + 1
+	}
+	g.OutWeights = w
+	if g.HasIn() {
+		// Rebuild transpose weights to stay consistent.
+		g.InOffsets = nil
+		g.InEdges = nil
+		g.InWeights = nil
+		g.BuildIn()
+	}
+}
+
+// CSRBytes returns the size of the graph's CSR representation in bytes
+// (offsets + edges + weights for the directions present), mirroring the
+// "Size (GB)" column of Table 3.
+func (g *Graph) CSRBytes() int64 {
+	n := int64(g.NumNodes())
+	size := (n + 1) * 8
+	size += g.NumEdges() * 4
+	if g.OutWeights != nil {
+		size += g.NumEdges() * 4
+	}
+	if g.HasIn() {
+		size += (n+1)*8 + g.NumEdges()*4
+		if g.InWeights != nil {
+			size += g.NumEdges() * 4
+		}
+	}
+	return size
+}
+
+// MaxOutDegreeNode returns the node with the maximum out-degree (the
+// paper's source node for bc, bfs and sssp) and its degree.
+func (g *Graph) MaxOutDegreeNode() (Node, int64) {
+	var best Node
+	bestDeg := int64(-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(Node(v)); d > bestDeg {
+			bestDeg = d
+			best = Node(v)
+		}
+	}
+	return best, bestDeg
+}
+
+// MaxInDegree returns the maximum in-degree, building the transpose counts
+// without materializing it.
+func (g *Graph) MaxInDegree() int64 {
+	counts := make([]int64, g.NumNodes())
+	for _, d := range g.OutEdges {
+		counts[d]++
+	}
+	var best int64
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,268 @@
+package memsim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Policy selects the NUMA allocation policy of an Array (§4.1, Figure 3).
+type Policy int
+
+const (
+	// Local places all pages on a preferred socket, spilling to the next
+	// socket only when the preferred socket's capacity is exhausted
+	// (numa_alloc_onnode / default first-touch from one thread).
+	Local Policy = iota
+	// Interleaved round-robins pages across sockets (numactl
+	// --interleave or numa_alloc_interleaved).
+	Interleaved
+	// Blocked divides the allocation into contiguous per-thread blocks
+	// and places each block on the first-touching thread's socket (the
+	// Galois first-touch blocked policy; blocks are per *thread*, not
+	// per socket, which is why runs with <= 24 threads place everything
+	// on socket 0).
+	Blocked
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case Interleaved:
+		return "interleaved"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AllocOpts refines an allocation.
+type AllocOpts struct {
+	// Policy is the NUMA placement policy.
+	Policy Policy
+	// PreferredSocket is the target socket for Local placement.
+	PreferredSocket int
+	// BlockThreads is the thread count used to compute Blocked placement
+	// boundaries; zero means the machine's full thread count.
+	BlockThreads int
+	// PageSize overrides the machine's default page size (0 = default).
+	// The Galois engine passes PageHuge explicitly; framework emulations
+	// pass PageSmall with THP set.
+	PageSize int64
+	// THP marks the allocation as relying on Transparent Huge Pages:
+	// most of it is backed by 2 MB pages, but a fraction of translations
+	// still go through 4 KB pages (defragmentation gaps), which is why
+	// the paper finds explicit huge pages faster than THP (§6.1).
+	THP bool
+	// AppDirect places the allocation on the Optane media when the
+	// machine is in app-direct mode (external storage for the
+	// out-of-core experiments).
+	AppDirect bool
+}
+
+// Array is a simulated allocation. Kernels operate on native Go slices for
+// the actual data and mirror their access stream onto the Array, which
+// charges simulated time and counters to the accessing thread.
+type Array struct {
+	m    *Machine
+	name string
+
+	elemSize int64
+	length   int64
+	bytes    int64
+
+	pageSize int64
+	numPages int64
+	baseAddr uint64 // global virtual base address
+
+	opts AllocOpts
+
+	// segments describe Local placement spills: sorted by startPage.
+	segments []placeSegment
+
+	// touched tracks first-touch minor faults, one bit per page.
+	touched []atomic.Uint64
+
+	// l3Prob is the probability an access short-circuits in the on-chip
+	// cache hierarchy, derived from the array's size relative to L3.
+	l3Prob float64
+
+	freed bool
+}
+
+type placeSegment struct {
+	startPage int64
+	socket    int
+}
+
+// Name returns the allocation's diagnostic name.
+func (a *Array) Name() string { return a.name }
+
+// Len returns the number of elements.
+func (a *Array) Len() int64 { return a.length }
+
+// Bytes returns the allocation size in bytes.
+func (a *Array) Bytes() int64 { return a.bytes }
+
+// PageSize returns the page size backing the allocation.
+func (a *Array) PageSize() int64 { return a.pageSize }
+
+// pageOf returns the page index containing element i.
+func (a *Array) pageOf(i int64) int64 {
+	return i * a.elemSize / a.pageSize
+}
+
+// socketOf returns the socket that page p resides on.
+func (a *Array) socketOf(p int64) int {
+	switch a.opts.Policy {
+	case Interleaved:
+		return int(p % int64(a.m.cfg.Sockets))
+	case Blocked:
+		threads := a.opts.BlockThreads
+		if threads <= 0 {
+			threads = a.m.cfg.MaxThreads()
+		}
+		if a.numPages == 0 {
+			return 0
+		}
+		owner := int(p * int64(threads) / a.numPages)
+		if owner >= threads {
+			owner = threads - 1
+		}
+		return threadSocket(&a.m.cfg, owner)
+	default: // Local with capacity spill
+		for i := len(a.segments) - 1; i >= 0; i-- {
+			if p >= a.segments[i].startPage {
+				return a.segments[i].socket
+			}
+		}
+		return a.opts.PreferredSocket
+	}
+}
+
+// firstTouch reports whether page p had not been touched before and marks
+// it touched, exactly once even under concurrent touches.
+func (a *Array) firstTouch(p int64) bool {
+	w := &a.touched[p>>6]
+	mask := uint64(1) << (uint(p) & 63)
+	if w.Load()&mask != 0 {
+		return false
+	}
+	return w.Or(mask)&mask == 0
+}
+
+// effectivePageSize returns the page size used for this particular
+// translation. THP allocations resolve a fraction of translations through
+// 4 KB pages.
+func (a *Array) effectivePageSize(t *Thread) int64 {
+	if a.opts.THP && t.chance(a.m.thpSmallFraction) {
+		return PageSmall
+	}
+	return a.pageSize
+}
+
+// Read charges a random read of element i.
+func (a *Array) Read(t *Thread, i int64) {
+	a.m.access(t, a, i, 1, false, false)
+}
+
+// Write charges a random write of element i.
+func (a *Array) Write(t *Thread, i int64) {
+	a.m.access(t, a, i, 1, true, false)
+}
+
+// ReadN charges a read of n consecutive elements starting at i, costed as a
+// single random access plus line-sized sequential spill (a short gather,
+// e.g. one vertex's edge offsets).
+func (a *Array) ReadN(t *Thread, i, n int64) {
+	if n <= 0 {
+		return
+	}
+	a.m.access(t, a, i, n, false, n*a.elemSize > 256)
+}
+
+// ReadRange charges a sequential scan of elements [i, j).
+func (a *Array) ReadRange(t *Thread, i, j int64) {
+	if j <= i {
+		return
+	}
+	a.m.access(t, a, i, j-i, false, true)
+}
+
+// WriteRange charges a sequential write of elements [i, j).
+func (a *Array) WriteRange(t *Thread, i, j int64) {
+	if j <= i {
+		return
+	}
+	a.m.access(t, a, i, j-i, true, true)
+}
+
+// fracOnSocket returns the fraction of the allocation's bytes placed on
+// socket s, used by the bandwidth-sharing model.
+func (a *Array) fracOnSocket(s int) float64 {
+	sockets := a.m.cfg.Sockets
+	switch a.opts.Policy {
+	case Interleaved:
+		return 1 / float64(sockets)
+	case Blocked:
+		threads := a.opts.BlockThreads
+		if threads <= 0 {
+			threads = a.m.cfg.MaxThreads()
+		}
+		on := 0
+		for t := 0; t < threads; t++ {
+			if threadSocket(&a.m.cfg, t) == s {
+				on++
+			}
+		}
+		return float64(on) / float64(threads)
+	default:
+		var span int64
+		for i, seg := range a.segments {
+			if seg.socket != s {
+				continue
+			}
+			endPage := a.numPages
+			if i+1 < len(a.segments) {
+				endPage = a.segments[i+1].startPage
+			}
+			span += (endPage - seg.startPage) * a.pageSize
+		}
+		if span > a.bytes {
+			span = a.bytes
+		}
+		if a.bytes == 0 {
+			return 1
+		}
+		return float64(span) / float64(a.bytes)
+	}
+}
+
+// RandomBatch charges n independent random cache-line accesses, costed
+// against the device's random-access bandwidth rather than dependent-load
+// latency (the access pattern of a bandwidth microbenchmark with many
+// outstanding misses per core).
+func (a *Array) RandomBatch(t *Thread, n int64, isWrite bool) {
+	a.m.randomBatch(t, a, n, isWrite)
+}
+
+// Warm marks every page of the allocation as already touched and installs
+// nothing in any TLB. The harness warms graph topology arrays after loading
+// because the paper excludes graph loading and construction time from all
+// reported numbers.
+func (a *Array) Warm() {
+	for i := range a.touched {
+		a.touched[i].Store(^uint64(0))
+	}
+}
+
+// RandomN charges n independent latency-bound random accesses in
+// expectation: instead of sampling each access, the expected TLB, near-
+// memory, NUMA and migration costs are charged in one call. Kernels use it
+// for per-vertex neighbor-label gathers, where issuing one simulator call
+// per edge would dominate host time.
+func (a *Array) RandomN(t *Thread, n int64, isWrite bool) {
+	a.m.randomN(t, a, n, isWrite)
+}

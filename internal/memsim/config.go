@@ -1,0 +1,229 @@
+package memsim
+
+import "fmt"
+
+// Mode selects how the machine's memory devices are used.
+type Mode int
+
+const (
+	// DRAMOnly models a conventional machine: DRAM is main memory and
+	// there is no Optane media in the volatile pool (the paper obtains
+	// this configuration by putting all PMM modules in app-direct mode
+	// and never touching them).
+	DRAMOnly Mode = iota
+	// MemoryMode models Optane PMM memory mode: Optane is the volatile
+	// main memory and each socket's DRAM serves as a direct-mapped,
+	// physically indexed near-memory cache with 4 KB lines.
+	MemoryMode
+	// AppDirect models Optane PMM app-direct mode: DRAM is main memory
+	// and Optane is byte-addressable storage. Allocations placed with
+	// PlaceAppDirect live on the Optane media; everything else is DRAM.
+	AppDirect
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case DRAMOnly:
+		return "dram"
+	case MemoryMode:
+		return "memory-mode"
+	case AppDirect:
+		return "app-direct"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Page sizes supported by the simulated TLB hierarchy.
+const (
+	PageSmall = 4 << 10 // 4 KB
+	PageHuge  = 2 << 20 // 2 MB
+	PageGiant = 1 << 30 // 1 GB
+)
+
+// TLBConfig describes the per-thread data TLB. The defaults mirror the
+// paper's Cascade Lake test machine: a 4-way data TLB with 64 entries for
+// 4 KB pages, 32 entries for 2 MB pages, and 4 entries for 1 GB pages. The
+// simulator models each class as fully associative LRU, a standard
+// simplification that preserves reach and capacity behaviour.
+type TLBConfig struct {
+	SmallEntries int
+	HugeEntries  int
+	GiantEntries int
+}
+
+// DefaultTLB returns the Cascade Lake TLB geometry used in the paper.
+func DefaultTLB() TLBConfig {
+	return TLBConfig{SmallEntries: 64, HugeEntries: 32, GiantEntries: 4}
+}
+
+// MachineConfig describes a simulated machine. Capacities follow the
+// DESIGN.md scaling rule: the reproduction shrinks the paper machine's
+// capacities by 2^10 (GB -> MB) so that scaled-down graphs keep the same
+// footprint-to-near-memory ratios as the paper's full-size graphs.
+type MachineConfig struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	// ThreadsPerCore is the SMT width; virtual threads beyond the core
+	// count share cores and receive a throughput discount.
+	ThreadsPerCore int
+
+	// DRAMPerSocket is the DRAM capacity of each socket in bytes. In
+	// MemoryMode this is the near-memory cache size.
+	DRAMPerSocket int64
+	// PMMPerSocket is the Optane capacity of each socket in bytes.
+	PMMPerSocket int64
+
+	Mode Mode
+
+	// PageSize is the page size used for explicit allocations (the
+	// Galois engine allocates 2 MB huge pages; the other frameworks use
+	// 4 KB pages).
+	PageSize int64
+	// NUMAMigration enables the kernel's automatic NUMA page-migration
+	// daemon (§4.2).
+	NUMAMigration bool
+
+	// L3PerSocket is the shared last-level cache per socket.
+	L3PerSocket int64
+
+	TLB  TLBConfig
+	Cost CostParams
+}
+
+// Validate reports configuration errors.
+func (c MachineConfig) Validate() error {
+	if c.Sockets <= 0 {
+		return fmt.Errorf("memsim: machine %q: sockets must be positive, got %d", c.Name, c.Sockets)
+	}
+	if c.CoresPerSocket <= 0 {
+		return fmt.Errorf("memsim: machine %q: cores per socket must be positive, got %d", c.Name, c.CoresPerSocket)
+	}
+	if c.ThreadsPerCore <= 0 {
+		return fmt.Errorf("memsim: machine %q: threads per core must be positive, got %d", c.Name, c.ThreadsPerCore)
+	}
+	if c.DRAMPerSocket <= 0 {
+		return fmt.Errorf("memsim: machine %q: DRAM per socket must be positive, got %d", c.Name, c.DRAMPerSocket)
+	}
+	if c.Mode != DRAMOnly && c.PMMPerSocket <= 0 {
+		return fmt.Errorf("memsim: machine %q: mode %v requires PMM capacity", c.Name, c.Mode)
+	}
+	switch c.PageSize {
+	case PageSmall, PageHuge, PageGiant:
+	default:
+		return fmt.Errorf("memsim: machine %q: unsupported page size %d", c.Name, c.PageSize)
+	}
+	return nil
+}
+
+// MaxThreads returns the number of hardware threads on the machine.
+func (c MachineConfig) MaxThreads() int {
+	return c.Sockets * c.CoresPerSocket * c.ThreadsPerCore
+}
+
+// Capacity scaling: the paper's machine had 384 GB DRAM + 6 TB PMM; the
+// simulation uses MB where the paper has GB.
+const scaledGB = 1 << 20 // "1 GB" of the paper == 1 MB simulated
+
+// ScaledBytes converts a capacity expressed in the paper's GB units into
+// simulated bytes.
+func ScaledBytes(paperGB float64) int64 { return int64(paperGB * scaledGB) }
+
+// OptaneMachine returns the paper's main test machine (§3): 2-socket Cascade
+// Lake, 48 cores / 96 threads, 384 GB DRAM, 6 TB Optane PMM, configured in
+// memory mode with 2 MB pages and migration off (the recommended §4.4
+// configuration) unless altered by the caller.
+func OptaneMachine() MachineConfig {
+	return MachineConfig{
+		Name:           "optane-pmm",
+		Sockets:        2,
+		CoresPerSocket: 24,
+		ThreadsPerCore: 2,
+		DRAMPerSocket:  ScaledBytes(192),
+		PMMPerSocket:   ScaledBytes(3072),
+		Mode:           MemoryMode,
+		PageSize:       PageHuge,
+		NUMAMigration:  false,
+		L3PerSocket:    33 << 15, // 33 MB scaled ~ 1 MB; keep ratio to DRAM
+		TLB:            DefaultTLB(),
+		Cost:           DefaultCost(),
+	}
+}
+
+// DRAMMachine returns the same machine with the PMM modules parked in
+// app-direct mode and unused, i.e. a 384 GB DRAM-main-memory machine, as the
+// paper does for its DDR4 comparison runs.
+func DRAMMachine() MachineConfig {
+	c := OptaneMachine()
+	c.Name = "ddr4-dram"
+	c.Mode = DRAMOnly
+	return c
+}
+
+// AppDirectMachine returns the machine configured for the out-of-core
+// experiments (§6.4): DRAM is main memory and the PMM modules are
+// app-direct storage.
+func AppDirectMachine() MachineConfig {
+	c := OptaneMachine()
+	c.Name = "optane-app-direct"
+	c.Mode = AppDirect
+	return c
+}
+
+// EntropyMachine returns the paper's large-DRAM control machine (§3):
+// 4-socket Skylake, 1.5 TB DRAM; the paper restricts runs to 2 sockets and
+// 56 threads.
+func EntropyMachine() MachineConfig {
+	return MachineConfig{
+		Name:           "entropy",
+		Sockets:        4,
+		CoresPerSocket: 28,
+		ThreadsPerCore: 2,
+		DRAMPerSocket:  ScaledBytes(384),
+		Mode:           DRAMOnly,
+		PageSize:       PageHuge,
+		NUMAMigration:  false,
+		L3PerSocket:    38 << 15,
+		TLB:            DefaultTLB(),
+		Cost:           DefaultCost(),
+	}
+}
+
+// StampedeHost returns one Stampede2 SKX host (§3): 2-socket Skylake, 48
+// cores, 192 GB DRAM. Used by the distributed simulator.
+func StampedeHost() MachineConfig {
+	return MachineConfig{
+		Name:           "stampede2-skx",
+		Sockets:        2,
+		CoresPerSocket: 24,
+		ThreadsPerCore: 2,
+		DRAMPerSocket:  ScaledBytes(96),
+		Mode:           DRAMOnly,
+		PageSize:       PageHuge,
+		NUMAMigration:  false,
+		L3PerSocket:    33 << 15,
+		TLB:            DefaultTLB(),
+		Cost:           DefaultCost(),
+	}
+}
+
+// Scaled returns cfg with its memory capacities divided by div, used by the
+// graph experiments to pair a further-shrunk machine with further-shrunk
+// inputs while preserving footprint-to-near-memory ratios (see
+// gen.Scale).
+func Scaled(cfg MachineConfig, div int64) MachineConfig {
+	if div <= 0 {
+		div = 1
+	}
+	cfg.DRAMPerSocket /= div
+	if cfg.PMMPerSocket > 0 {
+		cfg.PMMPerSocket /= div
+	}
+	cfg.L3PerSocket /= div
+	if cfg.L3PerSocket < 1<<16 {
+		cfg.L3PerSocket = 1 << 16
+	}
+	return cfg
+}

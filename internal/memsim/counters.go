@@ -1,0 +1,103 @@
+package memsim
+
+// Counters collects the simulated hardware events of one thread or of a
+// whole run. They correspond to the VTune / Platform Profiler measurements
+// the paper reports (TLB misses, page walks, near-memory hit rates, kernel
+// vs user time).
+type Counters struct {
+	Reads  uint64
+	Writes uint64
+	// BytesRead / BytesWritten include streaming (range) accesses.
+	BytesRead    uint64
+	BytesWritten uint64
+
+	TLBHits    uint64
+	TLBMisses  uint64
+	PageWalkNs float64
+
+	NearMemHits    uint64
+	NearMemMisses  uint64
+	LocalAccesses  uint64
+	RemoteAccesses uint64
+
+	MinorFaults uint64
+	Migrations  uint64
+	Shootdowns  uint64
+
+	// UserNs is time attributable to the application (compute plus
+	// memory stalls); KernelNs is time spent in simulated kernel code
+	// (fault service, migration bookkeeping, shootdown IPIs).
+	UserNs   float64
+	KernelNs float64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.BytesRead += other.BytesRead
+	c.BytesWritten += other.BytesWritten
+	c.TLBHits += other.TLBHits
+	c.TLBMisses += other.TLBMisses
+	c.PageWalkNs += other.PageWalkNs
+	c.NearMemHits += other.NearMemHits
+	c.NearMemMisses += other.NearMemMisses
+	c.LocalAccesses += other.LocalAccesses
+	c.RemoteAccesses += other.RemoteAccesses
+	c.MinorFaults += other.MinorFaults
+	c.Migrations += other.Migrations
+	c.Shootdowns += other.Shootdowns
+	c.UserNs += other.UserNs
+	c.KernelNs += other.KernelNs
+}
+
+// TLBMissRate returns the fraction of address translations that missed.
+func (c *Counters) TLBMissRate() float64 {
+	total := c.TLBHits + c.TLBMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TLBMisses) / float64(total)
+}
+
+// NearMemHitRate returns the fraction of near-memory lookups that hit.
+func (c *Counters) NearMemHitRate() float64 {
+	total := c.NearMemHits + c.NearMemMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.NearMemHits) / float64(total)
+}
+
+// LocalFraction returns the fraction of memory accesses served by the
+// accessing core's own socket.
+func (c *Counters) LocalFraction() float64 {
+	total := c.LocalAccesses + c.RemoteAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.LocalAccesses) / float64(total)
+}
+
+// Sub returns c - other, used to attribute counters to a window of
+// execution between two snapshots.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Reads:          c.Reads - other.Reads,
+		Writes:         c.Writes - other.Writes,
+		BytesRead:      c.BytesRead - other.BytesRead,
+		BytesWritten:   c.BytesWritten - other.BytesWritten,
+		TLBHits:        c.TLBHits - other.TLBHits,
+		TLBMisses:      c.TLBMisses - other.TLBMisses,
+		PageWalkNs:     c.PageWalkNs - other.PageWalkNs,
+		NearMemHits:    c.NearMemHits - other.NearMemHits,
+		NearMemMisses:  c.NearMemMisses - other.NearMemMisses,
+		LocalAccesses:  c.LocalAccesses - other.LocalAccesses,
+		RemoteAccesses: c.RemoteAccesses - other.RemoteAccesses,
+		MinorFaults:    c.MinorFaults - other.MinorFaults,
+		Migrations:     c.Migrations - other.Migrations,
+		Shootdowns:     c.Shootdowns - other.Shootdowns,
+		UserNs:         c.UserNs - other.UserNs,
+		KernelNs:       c.KernelNs - other.KernelNs,
+	}
+}

@@ -1,0 +1,32 @@
+// Package memsim simulates the memory hierarchy of large-memory NUMA
+// machines, in particular machines equipped with Intel Optane DC Persistent
+// Memory (PMM) in either memory mode (DRAM acts as a direct-mapped
+// "near-memory" cache in front of the Optane media) or app-direct mode
+// (Optane is byte-addressable storage, DRAM is main memory).
+//
+// The simulator is deterministic and runs in virtual time: every virtual
+// thread carries its own clock, and the elapsed time of a parallel region is
+// the maximum over its threads. Graph kernels execute natively in Go for
+// correctness while charging their memory accesses to the simulator through
+// Array handles; the simulator translates the access stream into time using
+// a cost model calibrated against the latency and bandwidth tables published
+// in Gill et al., "Single Machine Graph Analytics on Massive Datasets Using
+// Intel Optane DC Persistent Memory" (VLDB 2020).
+//
+// Modelled effects (paper section in parentheses):
+//
+//   - NUMA allocation policies: local, interleaved, blocked first-touch (§4.1)
+//   - near-memory (DRAM cache) hit/miss behaviour including conflict misses
+//     when a socket's footprint exceeds its DRAM (§4.1)
+//   - NUMA page migration: bookkeeping kernel time, TLB shootdowns, and the
+//     page-size dependence of migration counts (§4.2)
+//   - page size selection: per-thread TLBs with separate 4 KB / 2 MB / 1 GB
+//     entry budgets, page-walk cost, TLB reach (§4.3)
+//   - bandwidth asymmetries between modes, patterns, and local/remote
+//     accesses (Tables 1 and 2)
+//
+// The near-memory cache is modelled statistically (per-socket residency
+// ratios give per-access hit probabilities, sampled with per-thread
+// deterministic RNGs) while TLBs are simulated exactly per thread. See
+// DESIGN.md §5.1 for the rationale.
+package memsim

@@ -1,0 +1,80 @@
+package memsim
+
+// Thread is one virtual hardware thread inside a Parallel region. It carries
+// its own simulated clock, TLB, RNG, and counters, so threads never share
+// mutable simulator state and the simulation stays deterministic per thread
+// regardless of goroutine interleaving.
+type Thread struct {
+	m *Machine
+	// ID is the virtual thread index within the region, in [0, threads).
+	ID int
+	// Socket is the NUMA node this thread's core belongs to. Thread
+	// pinning is compact: threads fill socket 0's cores, then socket 1's,
+	// then wrap for SMT siblings — matching the paper's observation that
+	// runs with <= 24 threads keep all threads on one socket.
+	Socket int
+
+	// Clock is the thread's simulated time in nanoseconds since the
+	// start of the enclosing Parallel region.
+	Clock float64
+	// C collects this thread's simulated hardware events.
+	C Counters
+
+	tlb *tlb
+	rng uint64
+
+	// smtScale multiplies charged compute time when SMT siblings share a
+	// core (two threads per core each run at ~74% of a full core).
+	smtScale float64
+
+	// Last-touched line memo: consecutive accesses to the same 64-byte
+	// line of the same array hit in L1 and cost almost nothing.
+	lastArray *Array
+	lastLine  int64
+}
+
+// threadSocket maps virtual thread IDs to sockets using compact pinning.
+func threadSocket(cfg *MachineConfig, id int) int {
+	core := id % (cfg.Sockets * cfg.CoresPerSocket)
+	return core / cfg.CoresPerSocket
+}
+
+// next returns the next value of the thread's xorshift64* RNG.
+func (t *Thread) next() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// chance reports true with probability p, deterministically per thread.
+func (t *Thread) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(t.next()>>11)/(1<<53) < p
+}
+
+// Advance charges ns of user time (compute or memory stall) to the thread.
+func (t *Thread) Advance(ns float64) {
+	t.Clock += ns
+	t.C.UserNs += ns
+}
+
+// AdvanceKernel charges ns of simulated kernel time to the thread.
+func (t *Thread) AdvanceKernel(ns float64) {
+	t.Clock += ns
+	t.C.KernelNs += ns
+}
+
+// Op charges the fixed per-operator compute cost n times. Kernels call this
+// once per operator application so that computation is not free relative to
+// memory accesses.
+func (t *Thread) Op(n int) {
+	t.Advance(t.m.cost.OpCost * float64(n) * t.smtScale)
+}

@@ -1,0 +1,97 @@
+package memsim
+
+// tlb models one hardware thread's data TLB. Each page-size class is a
+// fully associative LRU array, implemented as a ring of (pageID, stamp)
+// pairs. Entry counts are tiny (4-64), so linear scans beat any fancier
+// structure and allocate nothing.
+type tlb struct {
+	small tlbClass
+	huge  tlbClass
+	giant tlbClass
+}
+
+type tlbClass struct {
+	pages  []uint64
+	stamps []uint64
+	clock  uint64
+}
+
+func newTLB(cfg TLBConfig) *tlb {
+	return &tlb{
+		small: newTLBClass(cfg.SmallEntries),
+		huge:  newTLBClass(cfg.HugeEntries),
+		giant: newTLBClass(cfg.GiantEntries),
+	}
+}
+
+func newTLBClass(entries int) tlbClass {
+	if entries <= 0 {
+		entries = 1
+	}
+	c := tlbClass{
+		pages:  make([]uint64, entries),
+		stamps: make([]uint64, entries),
+	}
+	for i := range c.pages {
+		c.pages[i] = ^uint64(0) // invalid
+	}
+	return c
+}
+
+func (t *tlb) class(pageSize int64) *tlbClass {
+	switch pageSize {
+	case PageHuge:
+		return &t.huge
+	case PageGiant:
+		return &t.giant
+	default:
+		return &t.small
+	}
+}
+
+// lookup probes the TLB for pageID, installing it on a miss. It reports
+// whether the probe hit.
+func (c *tlbClass) lookup(pageID uint64) bool {
+	c.clock++
+	victim, oldest := 0, ^uint64(0)
+	for i, p := range c.pages {
+		if p == pageID {
+			c.stamps[i] = c.clock
+			return true
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	c.pages[victim] = pageID
+	c.stamps[victim] = c.clock
+	return false
+}
+
+// invalidate drops pageID if present (TLB shootdown of a migrated page).
+func (c *tlbClass) invalidate(pageID uint64) {
+	for i, p := range c.pages {
+		if p == pageID {
+			c.pages[i] = ^uint64(0)
+			c.stamps[i] = 0
+			return
+		}
+	}
+}
+
+// flushRandom invalidates the slot selected by r, used to model the
+// shootdowns triggered by other threads' migrations without sharing state.
+func (c *tlbClass) flushRandom(r uint64) {
+	i := int(r % uint64(len(c.pages)))
+	c.pages[i] = ^uint64(0)
+	c.stamps[i] = 0
+}
+
+// flushAll empties the class.
+func (c *tlbClass) flushAll() {
+	for i := range c.pages {
+		c.pages[i] = ^uint64(0)
+		c.stamps[i] = 0
+	}
+}

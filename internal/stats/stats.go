@@ -1,0 +1,72 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses to summarize results the way the paper does (geomean speedups,
+// ratios, human-readable sizes).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive values
+// (which cannot be folded into a geometric mean). It returns 0 for an
+// empty input.
+func Geomean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Speedup returns base/other, the paper's convention for "speedup of other
+// over base" tables (e.g. DM/OB in Table 4). Returns 0 if other is 0.
+func Speedup(base, other float64) float64 {
+	if other == 0 {
+		return 0
+	}
+	return base / other
+}
+
+// HumanBytes renders a byte count with binary units.
+func HumanBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// Pct renders a ratio as a signed percentage change.
+func Pct(from, to float64) string {
+	if from == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", (from-to)/from*100)
+}
+
+// Ratio formats a ratio like the paper's "NNx" speedup cells.
+func Ratio(x float64) string {
+	switch {
+	case x == 0:
+		return "n/a"
+	case x >= 100:
+		return fmt.Sprintf("%.0fx", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1fx", x)
+	default:
+		return fmt.Sprintf("%.2fx", x)
+	}
+}

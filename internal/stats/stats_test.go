@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{-1, 0}); g != 0 {
+		t.Errorf("geomean of non-positives = %v, want 0", g)
+	}
+	// Mixed: non-positives ignored.
+	if g := Geomean([]float64{4, -5, 0}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(4,-5,0) = %v, want 4", g)
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	// Property: geomean(kx) = k * geomean(x) for positive k.
+	check := func(a, b uint8, k uint8) bool {
+		x := []float64{float64(a) + 1, float64(b) + 1}
+		kk := float64(k)/16 + 0.5
+		lhs := Geomean([]float64{x[0] * kk, x[1] * kk})
+		rhs := kk * Geomean(x)
+		return math.Abs(lhs-rhs) < 1e-9*rhs
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 5); s != 2 {
+		t.Errorf("speedup = %v", s)
+	}
+	if s := Speedup(10, 0); s != 0 {
+		t.Errorf("speedup by zero = %v", s)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:        "512 B",
+		2048:       "2.0 KiB",
+		3 << 20:    "3.0 MiB",
+		5 << 30:    "5.0 GiB",
+		7 << 40:    "7.0 TiB",
+		1536 << 20: "1.5 GiB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(10, 5); got != "+50%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(10, 15); got != "-50%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0, 5); got != "n/a" {
+		t.Errorf("Pct from zero = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(0); got != "n/a" {
+		t.Errorf("Ratio(0) = %q", got)
+	}
+	if got := Ratio(890); !strings.HasPrefix(got, "890") {
+		t.Errorf("Ratio(890) = %q", got)
+	}
+	if got := Ratio(12.34); got != "12.3x" {
+		t.Errorf("Ratio(12.34) = %q", got)
+	}
+	if got := Ratio(1.666); got != "1.67x" {
+		t.Errorf("Ratio(1.666) = %q", got)
+	}
+}

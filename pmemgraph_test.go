@@ -1,0 +1,60 @@
+package pmemgraph
+
+import "testing"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := GenerateInput("kron30", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(OptanePMM, ScaleSmall)
+	res, err := sys.Run(g, "bfs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.App != "bfs" {
+		t.Errorf("bad result: %+v", res)
+	}
+}
+
+func TestFacadeRunAs(t *testing.T) {
+	g, err := GenerateInput("kron30", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(DDR4DRAM, ScaleSmall)
+	if _, err := sys.RunAs("GBBS", g, "cc", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunAs("NoSuchFramework", g, "cc", 8); err == nil {
+		t.Error("unknown framework accepted")
+	}
+}
+
+func TestFacadeInventory(t *testing.T) {
+	if len(Apps()) != 7 {
+		t.Errorf("apps = %v", Apps())
+	}
+	if len(InputNames()) != 6 {
+		t.Errorf("inputs = %v", InputNames())
+	}
+	if len(Experiments()) != 14 {
+		t.Errorf("experiments = %v", Experiments())
+	}
+	if _, err := GenerateInput("nope", ScaleSmall); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestFacadeMachineKinds(t *testing.T) {
+	g, err := GenerateInput("kron30", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []MachineKind{OptanePMM, DDR4DRAM, Entropy} {
+		sys := NewSystem(kind, ScaleSmall)
+		if _, err := sys.Run(g, "bfs", 8); err != nil {
+			t.Errorf("kind %d: %v", kind, err)
+		}
+	}
+}
