@@ -1,0 +1,3 @@
+module pmemgraph
+
+go 1.24

@@ -4,9 +4,8 @@ import (
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
-	"pmemgraph/internal/memsim"
-	"pmemgraph/internal/worklist"
 )
 
 // BCOptions selects the frontier representation of the forward phase,
@@ -16,13 +15,16 @@ type BCOptions struct {
 	DenseFrontier bool
 }
 
-// BC computes single-source betweenness centrality with Brandes' algorithm:
-// a forward BFS accumulating shortest-path counts (sigma), then a backward
-// sweep over the BFS DAG accumulating dependencies level by level. The
-// backward sweep walks out-edges of each vertex filtered to the next BFS
-// level, so only the out-direction is required.
-func BC(r *core.Runtime, src graph.Node, opts BCOptions) *Result {
+// Brandes computes single-source betweenness centrality over the operator
+// engine: a forward EdgeMap BFS accumulating shortest-path counts (sigma)
+// while recording each level's frontier, then a backward sweep replaying
+// the recorded levels deepest-first, accumulating dependencies over the
+// BFS DAG. The backward sweep walks out-edges of each vertex filtered to
+// the next BFS level, so only the out-direction is required; cfg selects
+// the forward frontier representation.
+func Brandes(r *core.Runtime, cfg engine.Config, src graph.Node) *Result {
 	w := startWindow(r.M)
+	e := engine.New(r, cfg)
 	n := r.G.NumNodes()
 
 	dist, distArr := newDistArray(r, "bc.dist")
@@ -30,130 +32,73 @@ func BC(r *core.Runtime, src graph.Node, opts BCOptions) *Result {
 	delta := make([]float64, n)
 	sigmaArr := r.NodeArray("bc.sigma", 8)
 	deltaArr := r.NodeArray("bc.delta", 8)
-	wlArr := r.ScratchArray("bc.levels", int64(n), 4)
-	var bitsArr *memsim.Array
-	if opts.DenseFrontier {
-		bitsArr = r.ScratchArray("bc.frontier.bits", int64(n+63)/64, 8)
-	}
 
 	dist[src].Store(0)
 	sigma[src].Store(1)
 
 	// Forward phase: level-synchronous BFS recording per-level frontiers.
 	levels := [][]graph.Node{{src}}
-	if opts.DenseFrontier {
-		cur := worklist.NewDense(n)
-		cur.Set(src)
-		active := 1
-		for active > 0 {
-			lvl := uint32(len(levels))
-			next := worklist.NewDense(n)
-			bag := worklist.NewBag()
-			var cnt atomic.Int64
-			r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-				bitsArr.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
-				r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-				h := bag.NewHandle()
-				local := int64(0)
-				cur.ForEachInRange(lo, hi, func(v graph.Node) {
-					local += bcExpand(r, t, v, lvl, dist, sigma, distArr, sigmaArr, func(d graph.Node) {
-						next.Set(d)
-						h.Push(d)
-					})
-				})
-				h.Flush()
-				cnt.Add(local)
-			})
-			active = int(cnt.Load())
-			if active > 0 {
-				levels = append(levels, bag.Drain())
-			}
-			cur = next
-		}
-	} else {
-		frontier := []graph.Node{src}
-		for len(frontier) > 0 {
-			lvl := uint32(len(levels))
-			bag := worklist.NewBag()
-			r.ParallelItems(int64(len(frontier)), func(t *memsim.Thread, lo, hi int64) {
-				h := bag.NewHandle()
-				wlArr.ReadRange(t, lo, hi)
-				for _, v := range frontier[lo:hi] {
-					bcExpand(r, t, v, lvl, dist, sigma, distArr, sigmaArr, func(d graph.Node) { h.Push(d) })
+	f := e.NewFrontier(src)
+	for !f.Empty() {
+		lvl := uint32(len(levels))
+		f = e.EdgeMap(f, engine.EdgeMapArgs{
+			Push: func(u, d graph.Node, ei int64) bool {
+				found := dist[d].CompareAndSwap(Infinity, lvl)
+				if dist[d].Load() == lvl {
+					sigma[d].Add(sigma[u].Load())
 				}
-				h.Flush()
-			})
-			frontier = bag.Drain()
-			if len(frontier) > 0 {
-				levels = append(levels, frontier)
-			}
+				return found
+			},
+			PerEdge: []engine.Access{
+				{Arr: distArr, Write: true},
+				{Arr: sigmaArr, Write: true},
+			},
+		})
+		if !f.Empty() {
+			levels = append(levels, f.Vertices())
 		}
 	}
 
 	// Backward phase: accumulate dependencies level by level, deepest
-	// first. Within one level no two vertices share a successor
-	// relation, so delta writes race-free per vertex.
+	// first, replaying the recorded frontiers as sparse worklists (both
+	// the Galois and the dense-framework implementations walk explicit
+	// level lists here). Within one level no two vertices share a
+	// successor relation, so delta writes race-free per vertex.
 	for l := len(levels) - 1; l >= 0; l-- {
-		frontier := levels[l]
-		r.ParallelItems(int64(len(frontier)), func(t *memsim.Thread, lo, hi int64) {
-			wlArr.ReadRange(t, lo, hi)
-			for _, v := range frontier[lo:hi] {
-				nbrs := r.OutScan(t, v, false)
-				distArr.RandomN(t, int64(len(nbrs)), false)
-				sigmaArr.RandomN(t, int64(len(nbrs)), false)
-				deltaArr.RandomN(t, int64(len(nbrs)), false)
-				t.Op(len(nbrs))
-				dv := dist[v].Load()
-				sv := float64(sigma[v].Load())
-				acc := 0.0
-				for _, d := range nbrs {
-					if dist[d].Load() == dv+1 {
-						sd := float64(sigma[d].Load())
-						if sd > 0 {
-							acc += sv / sd * (1 + delta[d])
-						}
+		e.EdgeMap(e.SparseFrontier(levels[l]), engine.EdgeMapArgs{
+			Push: func(v, d graph.Node, ei int64) bool {
+				if dist[d].Load() == dist[v].Load()+1 {
+					if sd := float64(sigma[d].Load()); sd > 0 {
+						delta[v] += float64(sigma[v].Load()) / sd * (1 + delta[d])
 					}
 				}
-				delta[v] = acc
-				deltaArr.Write(t, int64(v))
-			}
+				return false
+			},
+			PerEdge: []engine.Access{
+				{Arr: distArr, Write: false},
+				{Arr: sigmaArr, Write: false},
+				{Arr: deltaArr, Write: false},
+			},
+			PerVertex: []engine.Access{{Arr: deltaArr, Write: true}},
 		})
 	}
 
 	return w.finish(&Result{
 		App:        "bc",
-		Algorithm:  algoName("brandes", opts.DenseFrontier),
+		Algorithm:  "brandes-" + repName(e.Config().Rep),
 		Rounds:     len(levels),
 		Dist:       snapshot(dist),
 		Centrality: append([]float64(nil), delta...),
+		Trace:      e.Trace(),
 	})
 }
 
-// bcExpand visits v's out-neighbors during the forward phase, setting
-// levels, accumulating sigma, and reporting newly discovered vertices. It
-// returns the number of discoveries.
-func bcExpand(r *core.Runtime, t *memsim.Thread, v graph.Node, lvl uint32, dist []atomic.Uint32, sigma []atomic.Uint64, distArr, sigmaArr *memsim.Array, found func(graph.Node)) int64 {
-	nbrs := r.OutScan(t, v, false)
-	distArr.RandomN(t, int64(len(nbrs)), true)
-	sigmaArr.RandomN(t, int64(len(nbrs)), true)
-	t.Op(len(nbrs))
-	sv := sigma[v].Load()
-	discovered := int64(0)
-	for _, d := range nbrs {
-		if dist[d].CompareAndSwap(Infinity, lvl) {
-			found(d)
-			discovered++
-		}
-		if dist[d].Load() == lvl {
-			sigma[d].Add(sv)
-		}
+// BC computes single-source betweenness centrality with Brandes' algorithm
+// using the sparse (Galois) or dense (GAP/GBBS) forward frontier.
+func BC(r *core.Runtime, src graph.Node, opts BCOptions) *Result {
+	cfg := engine.Config{Rep: engine.RepSparse, Dir: engine.DirPush}
+	if opts.DenseFrontier {
+		cfg.Rep = engine.RepDense
 	}
-	return discovered
-}
-
-func algoName(base string, dense bool) string {
-	if dense {
-		return base + "-dense"
-	}
-	return base + "-sparse"
+	return Brandes(r, cfg, src)
 }

@@ -4,13 +4,16 @@ import (
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
-	"pmemgraph/internal/worklist"
 )
 
 // newDistArray builds the native atomic distance array plus its simulated
-// twin, initialized to Infinity (charged as a parallel streaming fill).
+// twin, initialized to Infinity (charged as a parallel streaming fill). It
+// deliberately takes the bare runtime, not the engine, so asynchronous
+// kernels (delta-stepping) can use it without allocating engine frontier
+// storage they never touch.
 func newDistArray(r *core.Runtime, name string) ([]atomic.Uint32, *memsim.Array) {
 	n := r.G.NumNodes()
 	dist := make([]atomic.Uint32, n)
@@ -24,43 +27,60 @@ func newDistArray(r *core.Runtime, name string) ([]atomic.Uint32, *memsim.Array)
 	return dist, arr
 }
 
+// BFS is breadth-first search over the operator engine: bulk-synchronous
+// rounds whose frontier representation (sparse worklist, dense bit-vector,
+// or auto-converting) and traversal direction (push, pull with early exit,
+// or Beamer-style direction-optimizing) are selected by cfg. All §5
+// variants of the paper are points in this configuration space.
+func BFS(r *core.Runtime, cfg engine.Config, src graph.Node) *Result {
+	w := startWindow(r.M)
+	e := engine.New(r, cfg)
+	dist, distArr := newDistArray(r, "bfs.dist")
+
+	dist[src].Store(0)
+	f := e.NewFrontier(src)
+	rounds := 0
+	for !f.Empty() {
+		rounds++
+		level := uint32(rounds)
+		args := engine.EdgeMapArgs{
+			Push: func(u, d graph.Node, ei int64) bool {
+				return dist[d].CompareAndSwap(Infinity, level)
+			},
+			PerEdge: []engine.Access{{Arr: distArr, Write: true}},
+		}
+		if e.CanPull() {
+			cur := f
+			args.Pull = func(v, u graph.Node, ei int64) (bool, bool) {
+				if cur.Has(u) {
+					dist[v].Store(level)
+					return true, true
+				}
+				return false, false
+			}
+			args.PullCond = func(v graph.Node) bool { return dist[v].Load() == Infinity }
+			args.PullSeqRead = []*memsim.Array{distArr}
+			// Pull tests only frontier bits (charged per shard); it has
+			// no per-edge label gather.
+			args.PullPerEdge = []engine.Access{}
+		}
+		f = e.EdgeMap(f, args)
+	}
+	return w.finish(&Result{
+		App:       "bfs",
+		Algorithm: engine.TraversalName(r, e.Config()),
+		Rounds:    rounds,
+		Dist:      snapshot(dist),
+		Trace:     e.Trace(),
+	})
+}
+
 // BFSSparse is the Galois-style breadth-first search: bulk-synchronous
 // rounds over an explicit sparse worklist with a push-style operator. On
 // high-diameter graphs this variant has the lowest memory footprint and
 // traffic (Figure 7a).
 func BFSSparse(r *core.Runtime, src graph.Node) *Result {
-	w := startWindow(r.M)
-	dist, distArr := newDistArray(r, "bfs.dist")
-	wlArr := r.ScratchArray("bfs.wl", int64(r.G.NumNodes()), 4)
-
-	dist[src].Store(0)
-	frontier := []graph.Node{src}
-	rounds := 0
-	for len(frontier) > 0 {
-		rounds++
-		level := uint32(rounds)
-		next := worklist.NewBag()
-		r.ParallelItems(int64(len(frontier)), func(t *memsim.Thread, lo, hi int64) {
-			h := next.NewHandle()
-			wlArr.ReadRange(t, lo, hi)
-			pushed := int64(0)
-			for _, v := range frontier[lo:hi] {
-				nbrs := r.OutScan(t, v, false)
-				distArr.RandomN(t, int64(len(nbrs)), true)
-				t.Op(len(nbrs))
-				for _, d := range nbrs {
-					if dist[d].CompareAndSwap(Infinity, level) {
-						h.Push(d)
-						pushed++
-					}
-				}
-			}
-			h.Flush()
-			wlArr.WriteRange(t, 0, pushed)
-		})
-		frontier = next.Drain()
-	}
-	return w.finish(&Result{App: "bfs", Algorithm: "sparse-wl", Rounds: rounds, Dist: snapshot(dist)})
+	return BFS(r, engine.Config{Rep: engine.RepSparse, Dir: engine.DirPush}, src)
 }
 
 // BFSDense is the Ligra/GBBS/GraphIt-style breadth-first search: bulk-
@@ -68,46 +88,7 @@ func BFSSparse(r *core.Runtime, src graph.Node) *Result {
 // the whole frontier bit-vector and the offsets array, which is what makes
 // this variant lose on high-diameter graphs (§5.2).
 func BFSDense(r *core.Runtime, src graph.Node) *Result {
-	w := startWindow(r.M)
-	n := r.G.NumNodes()
-	dist, distArr := newDistArray(r, "bfs.dist")
-	bits := r.ScratchArray("bfs.frontier.bits", int64(n+63)/64, 8)
-	nextBits := r.ScratchArray("bfs.next.bits", int64(n+63)/64, 8)
-
-	fr := worklist.NewDouble(n)
-	fr.Cur.Set(src)
-	dist[src].Store(0)
-	active := 1
-	rounds := 0
-	for active > 0 {
-		rounds++
-		level := uint32(rounds)
-		var nextActive atomic.Int64
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			// Dense iteration: scan this shard's frontier bits and
-			// degree offsets for every vertex, active or not.
-			bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
-			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-			cnt := int64(0)
-			fr.Cur.ForEachInRange(lo, hi, func(v graph.Node) {
-				nbrs := r.G.OutNeighbors(v)
-				r.Edges.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
-				distArr.RandomN(t, int64(len(nbrs)), true)
-				t.Op(len(nbrs))
-				for _, d := range nbrs {
-					if dist[d].CompareAndSwap(Infinity, level) {
-						fr.Next.Set(d)
-						cnt++
-					}
-				}
-			})
-			nextBits.RandomN(t, cnt, true)
-			nextActive.Add(cnt)
-		})
-		fr.Swap()
-		active = int(nextActive.Load())
-	}
-	return w.finish(&Result{App: "bfs", Algorithm: "dense-wl", Rounds: rounds, Dist: snapshot(dist)})
+	return BFS(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPush}, src)
 }
 
 // BFSDirOpt is Beamer-style direction-optimizing BFS: push rounds while
@@ -119,72 +100,7 @@ func BFSDirOpt(r *core.Runtime, src graph.Node) *Result {
 	if r.InOffsets == nil {
 		panic("analytics: BFSDirOpt requires a runtime with in-edges (BothDirections)")
 	}
-	w := startWindow(r.M)
-	n := r.G.NumNodes()
-	dist, distArr := newDistArray(r, "bfs.dist")
-	bits := r.ScratchArray("bfs.frontier.bits", int64(n+63)/64, 8)
-
-	fr := worklist.NewDouble(n)
-	fr.Cur.Set(src)
-	dist[src].Store(0)
-	frontierEdges := r.G.OutDegree(src)
-	active := 1
-	rounds := 0
-	pullThreshold := r.G.NumEdges() / 20
-
-	for active > 0 {
-		rounds++
-		level := uint32(rounds)
-		var nextActive, nextEdges atomic.Int64
-		if frontierEdges > pullThreshold {
-			// Pull round: every unvisited vertex scans its
-			// in-neighbors until it finds one in the frontier.
-			r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-				bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
-				distArr.ReadRange(t, int64(lo), int64(hi))
-				for v := lo; v < hi; v++ {
-					if dist[v].Load() != Infinity {
-						continue
-					}
-					ins := r.G.InNeighbors(v)
-					scanned := int64(0)
-					for _, u := range ins {
-						scanned++
-						if fr.Cur.Test(u) {
-							dist[v].Store(level)
-							fr.Next.Set(v)
-							nextActive.Add(1)
-							nextEdges.Add(r.G.OutDegree(v))
-							break
-						}
-					}
-					r.InScanPrefix(t, v, scanned)
-					t.Op(int(scanned))
-				}
-			})
-		} else {
-			// Push round over the dense frontier.
-			r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-				bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
-				fr.Cur.ForEachInRange(lo, hi, func(v graph.Node) {
-					nbrs := r.OutScan(t, v, false)
-					distArr.RandomN(t, int64(len(nbrs)), true)
-					t.Op(len(nbrs))
-					for _, d := range nbrs {
-						if dist[d].CompareAndSwap(Infinity, level) {
-							fr.Next.Set(d)
-							nextActive.Add(1)
-							nextEdges.Add(r.G.OutDegree(d))
-						}
-					}
-				})
-			})
-		}
-		fr.Swap()
-		active = int(nextActive.Load())
-		frontierEdges = nextEdges.Load()
-	}
-	return w.finish(&Result{App: "bfs", Algorithm: "dir-opt", Rounds: rounds, Dist: snapshot(dist)})
+	return BFS(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirAuto}, src)
 }
 
 func snapshot(a []atomic.Uint32) []uint32 {

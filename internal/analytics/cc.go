@@ -4,9 +4,9 @@ import (
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
-	"pmemgraph/internal/worklist"
 )
 
 // Connected components treats edges as undirected, as all the frameworks in
@@ -15,181 +15,169 @@ import (
 // pointer-jumping kernel hooks roots and is direction-agnostic.
 
 // newLabelArray initializes labels[v] = v.
-func newLabelArray(r *core.Runtime, name string) ([]atomic.Uint32, *memsim.Array) {
-	n := r.G.NumNodes()
-	labels := make([]atomic.Uint32, n)
+func newLabelArray(r *core.Runtime, e *engine.Engine, name string) ([]atomic.Uint32, *memsim.Array) {
+	labels := make([]atomic.Uint32, r.G.NumNodes())
 	arr := r.NodeArray(name, 4)
-	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
-		for i := lo; i < hi; i++ {
-			labels[i].Store(uint32(i))
-		}
-		arr.WriteRange(t, lo, hi)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn:       func(v graph.Node) { labels[v].Store(uint32(v)) },
+		SeqWrite: []*memsim.Array{arr},
 	})
 	return labels, arr
 }
 
-// ccPushOnce pushes v's label to its out- (and in-) neighbors, activating
-// improved vertices via activate.
-func ccPushOnce(r *core.Runtime, t *memsim.Thread, labels []atomic.Uint32, labArr *memsim.Array, v graph.Node, activate func(graph.Node)) {
-	lv := labels[v].Load()
-	nbrs := r.OutScan(t, v, false)
-	labArr.RandomN(t, int64(len(nbrs)), true)
-	t.Op(len(nbrs))
-	for _, d := range nbrs {
-		if relaxMin(labels, d, lv) {
-			activate(d)
-		}
-	}
-	if r.InOffsets != nil {
-		ins := r.InScan(t, v, false)
-		labArr.RandomN(t, int64(len(ins)), true)
-		t.Op(len(ins))
-		for _, d := range ins {
-			if relaxMin(labels, d, lv) {
-				activate(d)
-			}
-		}
-	}
-}
-
-// CCLabelPropDense is plain label propagation as a vertex program over
-// dense worklists: the only cc expressible in GraphIt (§6.1). Rounds have
-// snapshot (bulk-synchronous) semantics — labels written in round i are
-// read in round i+1 — so a component of diameter D needs ~D rounds, each
-// scanning the dense frontier and offsets arrays. That round count is
-// exactly why this variant loses on high-diameter web crawls (§5.2).
-func CCLabelPropDense(r *core.Runtime) *Result {
+// CCLabelProp is connected components by label propagation over the
+// operator engine, traversing the graph symmetrically (out- and in-edges)
+// so labels flow against edge direction too. cfg selects the frontier
+// representation and direction policy; shortcut additionally applies the
+// Stergiou-style pointer-jumping pass after every round (label[v] =
+// label[label[v]]), a non-vertex operator that collapses label chains
+// exponentially faster.
+//
+// Without shortcutting the kernel uses snapshot (bulk-synchronous)
+// semantics — labels written in round i are read in round i+1 — so a
+// component of diameter D needs ~D rounds; that round count is exactly why
+// the plain variant loses on high-diameter web crawls (§5.2). With
+// shortcutting labels are relaxed in place (asynchronous reads within a
+// round are harmless for a min-reduction).
+func CCLabelProp(r *core.Runtime, cfg engine.Config, shortcut bool) *Result {
 	if r.InOffsets == nil {
-		panic("analytics: CCLabelPropDense requires a runtime with in-edges (weak components need both directions)")
+		panic("analytics: CCLabelProp requires a runtime with in-edges (weak components need both directions)")
 	}
 	w := startWindow(r.M)
+	e := engine.New(r, cfg)
+	if shortcut {
+		res := ccShortcut(r, e)
+		return w.finish(res)
+	}
+	res := ccSnapshot(r, e)
+	return w.finish(res)
+}
+
+// ccSnapshot is plain label propagation as a vertex program: the only cc
+// expressible in GraphIt (§6.1).
+func ccSnapshot(r *core.Runtime, e *engine.Engine) *Result {
 	n := r.G.NumNodes()
 	cur := make([]uint32, n)
 	next := make([]atomic.Uint32, n)
 	labArr := r.NodeArray("cc.labels", 4)
 	nextArr := r.NodeArray("cc.labels.next", 4)
-	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
-		for i := lo; i < hi; i++ {
-			cur[i] = uint32(i)
-			next[i].Store(uint32(i))
-		}
-		labArr.WriteRange(t, lo, hi)
-		nextArr.WriteRange(t, lo, hi)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn: func(v graph.Node) {
+			cur[v] = uint32(v)
+			next[v].Store(uint32(v))
+		},
+		SeqWrite: []*memsim.Array{labArr, nextArr},
 	})
-	bits := r.ScratchArray("cc.frontier.bits", int64(n+63)/64, 8)
 
-	fr := worklist.NewDouble(n)
-	for v := 0; v < n; v++ {
-		fr.Cur.Set(graph.Node(v))
-	}
-	active := n
+	f := e.FullFrontier()
 	rounds := 0
-	for active > 0 {
+	for !f.Empty() {
 		rounds++
-		var nextActive atomic.Int64
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
-			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-			cnt := int64(0)
-			fr.Cur.ForEachInRange(lo, hi, func(v graph.Node) {
-				lv := cur[v]
-				push := func(d graph.Node) {
-					if relaxMin(next, d, lv) {
-						if fr.Next.Set(d) {
-							cnt++
-						}
-					}
+		cf := f
+		f = e.EdgeMap(f, engine.EdgeMapArgs{
+			Symmetric: true,
+			// Push: scatter v's snapshot label to its neighbors.
+			Push: func(u, d graph.Node, ei int64) bool {
+				return relaxMin(next, d, cur[u])
+			},
+			// Pull: gather the minimum snapshot label of v's active
+			// neighbors (the direction-optimized form; no early exit —
+			// a min-reduction must see the whole neighborhood).
+			Pull: func(v, u graph.Node, ei int64) (bool, bool) {
+				if cf.Has(u) {
+					return relaxMin(next, v, cur[u]), false
 				}
-				nbrs := r.OutScan(t, v, false)
-				nextArr.RandomN(t, int64(len(nbrs)), true)
-				t.Op(len(nbrs))
-				for _, d := range nbrs {
-					push(d)
-				}
-				ins := r.InScan(t, v, false)
-				nextArr.RandomN(t, int64(len(ins)), true)
-				t.Op(len(ins))
-				for _, d := range ins {
-					push(d)
-				}
-			})
-			nextActive.Add(cnt)
+				return false, false
+			},
+			PerEdge: []engine.Access{{Arr: nextArr, Write: true}},
+			// Pull gathers the neighbor's snapshot label per edge and
+			// scatters into next.
+			PullPerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: nextArr, Write: true}},
 		})
 		// Publish the round: snapshot next into cur.
-		r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
-			nextArr.ReadRange(t, lo, hi)
-			labArr.WriteRange(t, lo, hi)
-			for i := lo; i < hi; i++ {
-				cur[i] = next[i].Load()
-			}
+		e.VertexMap(engine.VertexMapArgs{
+			Fn:       func(v graph.Node) { cur[v] = next[v].Load() },
+			SeqRead:  []*memsim.Array{nextArr},
+			SeqWrite: []*memsim.Array{labArr},
 		})
-		fr.Swap()
-		active = int(nextActive.Load())
 	}
-	return w.finish(&Result{App: "cc", Algorithm: "dense-wl", Rounds: rounds, Labels: append([]uint32(nil), cur...)})
+	return &Result{
+		App:       "cc",
+		Algorithm: engine.TraversalName(r, e.Config()),
+		Rounds:    rounds,
+		Labels:    append([]uint32(nil), cur...),
+		Trace:     e.Trace(),
+	}
 }
 
-// CCLabelPropSC is the Galois variant: label propagation with shortcutting
-// (Stergiou et al.), a non-vertex program — after each propagation round
-// every vertex jumps one level up its label chain (label[v] =
-// label[label[v]]), collapsing long chains exponentially faster. Active
-// vertices are kept in a sparse worklist.
-func CCLabelPropSC(r *core.Runtime) *Result {
-	if r.InOffsets == nil {
-		panic("analytics: CCLabelPropSC requires a runtime with in-edges (weak components need both directions)")
-	}
-	w := startWindow(r.M)
-	n := r.G.NumNodes()
-	labels, labArr := newLabelArray(r, "cc.labels")
-	wlArr := r.ScratchArray("cc.wl", int64(n), 4)
+// ccShortcut is the Galois variant: label propagation with shortcutting, a
+// non-vertex program over (typically sparse) worklists.
+func ccShortcut(r *core.Runtime, e *engine.Engine) *Result {
+	labels, labArr := newLabelArray(r, e, "cc.labels")
 
-	frontier := make([]graph.Node, n)
-	for v := range frontier {
-		frontier[v] = graph.Node(v)
-	}
+	f := e.FullFrontier()
 	rounds := 0
-	for len(frontier) > 0 {
+	for !f.Empty() {
 		rounds++
-		next := worklist.NewBag()
-		r.ParallelItems(int64(len(frontier)), func(t *memsim.Thread, lo, hi int64) {
-			h := next.NewHandle()
-			wlArr.ReadRange(t, lo, hi)
-			pushed := int64(0)
-			for _, v := range frontier[lo:hi] {
-				ccPushOnce(r, t, labels, labArr, v, func(d graph.Node) {
-					h.Push(d)
-					pushed++
-				})
-			}
-			h.Flush()
-			wlArr.WriteRange(t, 0, pushed)
+		cf := f
+		f = e.EdgeMap(f, engine.EdgeMapArgs{
+			Symmetric: true,
+			Push: func(u, d graph.Node, ei int64) bool {
+				return relaxMin(labels, d, labels[u].Load())
+			},
+			Pull: func(v, u graph.Node, ei int64) (bool, bool) {
+				if cf.Has(u) {
+					return relaxMin(labels, v, labels[u].Load()), false
+				}
+				return false, false
+			},
+			PerEdge: []engine.Access{{Arr: labArr, Write: true}},
+			// Pull reads the neighbor's label and relaxes v's in place.
+			PullPerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: labArr, Write: true}},
 		})
 		// Shortcut pass (non-vertex operator): the neighborhood is the
 		// label chain, not the graph edges.
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			labArr.ReadRange(t, int64(lo), int64(hi))
-			labArr.RandomN(t, int64(hi-lo), true)
-			t.Op(int(hi - lo))
-			for v := lo; v < hi; v++ {
+		e.VertexMap(engine.VertexMapArgs{
+			Fn: func(v graph.Node) {
 				l := labels[v].Load()
-				ll := labels[l].Load()
-				if ll < l {
+				if ll := labels[l].Load(); ll < l {
 					relaxMin(labels, v, ll)
 				}
-			}
+			},
+			SeqRead:   []*memsim.Array{labArr},
+			PerVertex: []engine.Access{{Arr: labArr, Write: true}},
+			Ops:       true,
 		})
-		frontier = dedupe(next.Drain())
 	}
-	return w.finish(&Result{App: "cc", Algorithm: "labelprop-sc", Rounds: rounds, Labels: snapshot(labels)})
+	return &Result{
+		App:       "cc",
+		Algorithm: "labelprop-sc",
+		Rounds:    rounds,
+		Labels:    snapshot(labels),
+		Trace:     e.Trace(),
+	}
+}
+
+// CCLabelPropDense is plain label propagation over dense worklists: the
+// only cc expressible in GraphIt (§6.1).
+func CCLabelPropDense(r *core.Runtime) *Result {
+	return CCLabelProp(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPush}, false)
+}
+
+// CCLabelPropSC is the Galois variant: label propagation with shortcutting
+// (Stergiou et al.) over sparse worklists.
+func CCLabelPropSC(r *core.Runtime) *Result {
+	return CCLabelProp(r, engine.Config{Rep: engine.RepSparse, Dir: engine.DirPush}, true)
 }
 
 // CCPointerJump is the union-find / pointer-jumping cc used by GAP and
 // GBBS (Shiloach-Vishkin family): hook every edge, then jump pointers to
-// full compression. Topology-driven; a vertex program over edges plus a
-// pointer-jumping phase.
+// full compression. Topology-driven (no frontier); the hook phase is an
+// edge iteration and the jump phase a VertexMap over label chains.
 func CCPointerJump(r *core.Runtime) *Result {
 	w := startWindow(r.M)
-	labels, labArr := newLabelArray(r, "cc.parent")
+	e := engine.New(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPush})
+	labels, labArr := newLabelArray(r, e, "cc.parent")
 
 	rounds := 0
 	for {
@@ -197,44 +185,39 @@ func CCPointerJump(r *core.Runtime) *Result {
 		var changed atomic.Int64
 		// Hook: for every edge (u,v), point the larger root at the
 		// smaller label.
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-			for v := lo; v < hi; v++ {
-				nbrs := r.G.OutNeighbors(v)
-				r.Edges.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
-				labArr.RandomN(t, 2*int64(len(nbrs)), true)
-				t.Op(len(nbrs))
-				for _, d := range nbrs {
-					lv := labels[v].Load()
-					ld := labels[d].Load()
-					switch {
-					case lv < ld:
-						if relaxMin(labels, graph.Node(ld), lv) {
-							changed.Add(1)
-						}
-					case ld < lv:
-						if relaxMin(labels, graph.Node(lv), ld) {
-							changed.Add(1)
-						}
+		full := e.FullFrontier()
+		e.EdgeMap(full, engine.EdgeMapArgs{
+			Push: func(u, d graph.Node, ei int64) bool {
+				lu := labels[u].Load()
+				ld := labels[d].Load()
+				switch {
+				case lu < ld:
+					if relaxMin(labels, graph.Node(ld), lu) {
+						changed.Add(1)
+					}
+				case ld < lu:
+					if relaxMin(labels, graph.Node(lu), ld) {
+						changed.Add(1)
 					}
 				}
-			}
+				return false // hooking relinks roots, not the frontier
+			},
+			PerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: labArr, Write: true}},
 		})
 		// Jump: compress pointer chains until every label is a root.
 		for {
 			var jumped atomic.Int64
-			r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-				labArr.ReadRange(t, int64(lo), int64(hi))
-				labArr.RandomN(t, int64(hi-lo), true)
-				t.Op(int(hi - lo))
-				for v := lo; v < hi; v++ {
+			e.VertexMap(engine.VertexMapArgs{
+				Fn: func(v graph.Node) {
 					l := labels[v].Load()
-					ll := labels[l].Load()
-					if ll < l {
+					if ll := labels[l].Load(); ll < l {
 						relaxMin(labels, v, ll)
 						jumped.Add(1)
 					}
-				}
+				},
+				SeqRead:   []*memsim.Array{labArr},
+				PerVertex: []engine.Access{{Arr: labArr, Write: true}},
+				Ops:       true,
 			})
 			if jumped.Load() == 0 {
 				break
@@ -245,22 +228,4 @@ func CCPointerJump(r *core.Runtime) *Result {
 		}
 	}
 	return w.finish(&Result{App: "cc", Algorithm: "pointer-jump", Rounds: rounds, Labels: snapshot(labels)})
-}
-
-// dedupe removes duplicate vertices from a drained frontier (a vertex may
-// be activated by several neighbors in one round).
-func dedupe(vs []graph.Node) []graph.Node {
-	if len(vs) < 2 {
-		return vs
-	}
-	seen := make(map[graph.Node]struct{}, len(vs))
-	out := vs[:0]
-	for _, v := range vs {
-		if _, ok := seen[v]; ok {
-			continue
-		}
-		seen[v] = struct{}{}
-		out = append(out, v)
-	}
-	return out
 }

@@ -1,13 +1,12 @@
 package analytics
 
 import (
-	"runtime"
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
-	"pmemgraph/internal/worklist"
 )
 
 // KCoreDefaultK is the paper's k (§3: "The k in kcore is 100"). Scaled
@@ -17,21 +16,17 @@ const KCoreDefaultK = 100
 
 // kcoreDegrees computes the undirected degree (out + in) of every vertex.
 // kcore views the graph as undirected, so the transpose is required.
-func kcoreDegrees(r *core.Runtime) ([]atomic.Int64, *memsim.Array) {
+func kcoreDegrees(r *core.Runtime, e *engine.Engine) ([]atomic.Int64, *memsim.Array) {
 	if r.InOffsets == nil {
 		panic("analytics: kcore requires a runtime with in-edges (undirected degrees)")
 	}
-	n := r.G.NumNodes()
-	deg := make([]atomic.Int64, n)
+	deg := make([]atomic.Int64, r.G.NumNodes())
 	arr := r.NodeArray("kcore.deg", 8)
-	r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-		r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-		r.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
-		arr.WriteRange(t, int64(lo), int64(hi))
-		t.Op(int(hi - lo))
-		for v := lo; v < hi; v++ {
-			deg[v].Store(r.G.OutDegree(v) + r.G.InDegree(v))
-		}
+	e.VertexMap(engine.VertexMapArgs{
+		Fn:       func(v graph.Node) { deg[v].Store(r.G.OutDegree(v) + r.G.InDegree(v)) },
+		SeqRead:  []*memsim.Array{r.Offsets, r.InOffsets},
+		SeqWrite: []*memsim.Array{arr},
+		Ops:      true,
 	})
 	return deg, arr
 }
@@ -45,135 +40,72 @@ func kcoreResult(deg []atomic.Int64, k int64) []bool {
 	return in
 }
 
-// KCoreSparse is the Galois-style asynchronous peeling k-core: vertices
-// whose degree drops below k enter a sparse worklist; threads drain it
-// concurrently, decrementing neighbor degrees and cascading removals with
-// no graph-wide rounds.
-func KCoreSparse(r *core.Runtime, k int64) *Result {
+// KCore is k-core decomposition by cascading peeling over the operator
+// engine: a VertexFilter seeds the frontier with every vertex already
+// below k, then each round peels the frontier, decrementing undirected
+// neighbor degrees through a symmetric push; a vertex whose degree drops
+// below k is activated for the next round. cfg selects whether the
+// cascade's frontiers are sparse worklists (Galois-style peeling, touching
+// only the peeled vertices) or dense bit-vectors (the GBBS-style rounds
+// that rescan the frontier bit-vector every peel level).
+func KCore(r *core.Runtime, cfg engine.Config, k int64) *Result {
 	w := startWindow(r.M)
-	deg, degArr := kcoreDegrees(r)
-	wlArr := r.ScratchArray("kcore.wl", int64(r.G.NumNodes()), 4)
+	e := engine.New(r, cfg)
+	deg, degArr := kcoreDegrees(r, e)
+	removed := make([]atomic.Bool, r.G.NumNodes())
 
 	// Seed: all vertices already below k.
-	seed := worklist.NewBag()
-	r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-		h := seed.NewHandle()
-		degArr.ReadRange(t, int64(lo), int64(hi))
-		pushed := int64(0)
-		for v := lo; v < hi; v++ {
-			if deg[v].Load() < k {
-				h.Push(v)
-				pushed++
-			}
-		}
-		h.Flush()
-		wlArr.WriteRange(t, 0, pushed)
+	f := e.VertexFilter(engine.VertexMapArgs{
+		SeqRead: []*memsim.Array{degArr},
+	}, func(v graph.Node) bool {
+		return deg[v].Load() < k && !removed[v].Swap(true)
 	})
 
-	removed := make([]atomic.Bool, r.G.NumNodes())
-	epochs := 0
-	bag := seed
-	var working atomic.Int64
-	for !bag.Empty() {
-		epochs++
-		r.Parallel(func(t *memsim.Thread) {
-			h := bag.NewHandle()
-			for {
-				chunk := bag.PopChunk()
-				if chunk == nil {
-					if working.Load() == 0 {
-						break
-					}
-					runtime.Gosched()
-					continue
+	rounds := 0
+	for !f.Empty() {
+		rounds++
+		f = e.EdgeMap(f, engine.EdgeMapArgs{
+			Symmetric: true,
+			// Peel u: decrement every undirected neighbor; the single
+			// decrement that crosses k-1 activates (and removes) it.
+			Push: func(u, d graph.Node, ei int64) bool {
+				if deg[d].Add(-1) == k-1 {
+					return !removed[d].Swap(true)
 				}
-				working.Add(1)
-				wlArr.ReadRange(t, 0, int64(len(chunk)))
-				for _, v := range chunk {
-					if removed[v].Swap(true) {
-						continue
-					}
-					// Peel v: decrement every neighbor (both
-					// directions; non-vertex cascade happens via
-					// the worklist).
-					nbrs := r.OutScan(t, v, false)
-					degArr.RandomN(t, int64(len(nbrs)), true)
-					t.Op(len(nbrs))
-					for _, d := range nbrs {
-						if deg[d].Add(-1) == k-1 {
-							h.Push(d)
-						}
-					}
-					ins := r.InScan(t, v, false)
-					degArr.RandomN(t, int64(len(ins)), true)
-					t.Op(len(ins))
-					for _, d := range ins {
-						if deg[d].Add(-1) == k-1 {
-							h.Push(d)
-						}
-					}
-				}
-				h.Flush() // publish cascaded work promptly
-				working.Add(-1)
-			}
+				return false
+			},
+			PerEdge: []engine.Access{{Arr: degArr, Write: true}},
 		})
 	}
-	return w.finish(&Result{App: "kcore", Algorithm: "peel-sparse", Rounds: epochs, InCore: kcoreResult(deg, k)})
+	return w.finish(&Result{
+		App:       "kcore",
+		Algorithm: "peel-" + repName(e.Config().Rep),
+		Rounds:    rounds,
+		InCore:    kcoreResult(deg, k),
+		Trace:     e.Trace(),
+	})
 }
 
-// KCoreDense is the round-based peeling used by dense-worklist frameworks:
-// each round scans every vertex, removes those whose degree at round start
-// is below k (snapshot semantics), then applies the decrements — so
-// removals cascade only across rounds, giving the peeling-depth round
-// count a bulk-synchronous system pays.
-func KCoreDense(r *core.Runtime, k int64) *Result {
-	w := startWindow(r.M)
-	deg, degArr := kcoreDegrees(r)
-	n := r.G.NumNodes()
-	removed := make([]atomic.Bool, n)
+// KCoreSparse is the Galois-style peeling k-core over sparse worklists:
+// each cascade level touches only the vertices being peeled.
+func KCoreSparse(r *core.Runtime, k int64) *Result {
+	return KCore(r, engine.Config{Rep: engine.RepSparse, Dir: engine.DirPush}, k)
+}
 
-	rounds := 0
-	for {
-		rounds++
-		// Phase 1: decide this round's peel set from the snapshot.
-		peelThisRound := make([]atomic.Bool, n)
-		var peeled atomic.Int64
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			degArr.ReadRange(t, int64(lo), int64(hi))
-			t.Op(int(hi - lo))
-			for v := lo; v < hi; v++ {
-				if removed[v].Load() || deg[v].Load() >= k {
-					continue
-				}
-				removed[v].Store(true)
-				peelThisRound[v].Store(true)
-				peeled.Add(1)
-			}
-		})
-		if peeled.Load() == 0 {
-			break
-		}
-		// Phase 2: apply the decrements.
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-			for v := lo; v < hi; v++ {
-				if !peelThisRound[v].Load() {
-					continue
-				}
-				nbrs := r.OutScan(t, v, false)
-				degArr.RandomN(t, int64(len(nbrs)), true)
-				t.Op(len(nbrs))
-				for _, d := range nbrs {
-					deg[d].Add(-1)
-				}
-				ins := r.InScan(t, v, false)
-				degArr.RandomN(t, int64(len(ins)), true)
-				t.Op(len(ins))
-				for _, d := range ins {
-					deg[d].Add(-1)
-				}
-			}
-		})
+// KCoreDense is the peeling used by dense-worklist frameworks: the same
+// cascade over bit-vector frontiers, rescanning the frontier bits and
+// offsets arrays at every peel level.
+func KCoreDense(r *core.Runtime, k int64) *Result {
+	return KCore(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPush}, k)
+}
+
+func repName(rep engine.Rep) string {
+	switch rep {
+	case engine.RepSparse:
+		return "sparse"
+	case engine.RepDense:
+		return "dense"
+	default:
+		return "hybrid"
 	}
-	return w.finish(&Result{App: "kcore", Algorithm: "peel-dense", Rounds: rounds, InCore: kcoreResult(deg, k)})
 }

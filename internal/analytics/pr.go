@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
 )
@@ -18,10 +19,11 @@ const (
 )
 
 // PageRank is the topology-driven pull pagerank every framework in the
-// paper shares ("all systems use the same algorithm for pr"): each round,
-// every vertex pulls its in-neighbors' contributions; the run stops when
-// the L1 residual falls below tol or after maxRounds rounds. Requires
-// in-edges.
+// paper shares ("all systems use the same algorithm for pr"): each round a
+// VertexMap publishes contributions (rank[v] / outDegree(v)), then a
+// full-frontier pull EdgeMap gathers in-neighbor contributions; the run
+// stops when the L1 residual falls below tol or after maxRounds rounds.
+// Requires in-edges.
 func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 	if r.InOffsets == nil {
 		panic("analytics: PageRank requires a runtime with in-edges (pull operator)")
@@ -33,61 +35,62 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 		maxRounds = PRDefaultMaxRounds
 	}
 	w := startWindow(r.M)
+	e := engine.New(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPull})
 	n := r.G.NumNodes()
 
 	rank := make([]float64, n)
 	next := make([]float64, n)
+	sum := make([]float64, n)     // per-round in-neighbor gather
 	contrib := make([]float64, n) // rank[v] / outDegree(v), published per round
 	rankArr := r.NodeArray("pr.rank", 8)
 	nextArr := r.NodeArray("pr.next", 8)
 	contribArr := r.NodeArray("pr.contrib", 8)
 
 	init := 1.0 / float64(n)
-	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
-		for i := lo; i < hi; i++ {
-			rank[i] = init
-		}
-		rankArr.WriteRange(t, lo, hi)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn:       func(v graph.Node) { rank[v] = init },
+		SeqWrite: []*memsim.Array{rankArr},
 	})
 
 	base := (1 - prDamping) / float64(n)
+	full := e.FullFrontier()
 	rounds := 0
 	for rounds < maxRounds {
 		rounds++
 		// Publish contributions (streaming pass).
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			rankArr.ReadRange(t, int64(lo), int64(hi))
-			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-			contribArr.WriteRange(t, int64(lo), int64(hi))
-			t.Op(int(hi - lo))
-			for v := lo; v < hi; v++ {
+		e.VertexMap(engine.VertexMapArgs{
+			Fn: func(v graph.Node) {
 				if d := r.G.OutDegree(v); d > 0 {
 					contrib[v] = rank[v] / float64(d)
 				} else {
 					contrib[v] = 0
 				}
-			}
+			},
+			SeqRead:  []*memsim.Array{rankArr, r.Offsets},
+			SeqWrite: []*memsim.Array{contribArr},
+			Ops:      true,
 		})
-		// Pull phase: gather in-neighbor contributions.
+		// Pull phase: gather in-neighbor contributions. The residual is
+		// reduced per scheduler chunk, publishing one atomic add each.
 		var residual atomicFloat
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			localRes := 0.0
-			r.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
-			nextArr.WriteRange(t, int64(lo), int64(hi))
-			for v := lo; v < hi; v++ {
-				ins := r.G.InNeighbors(v)
-				r.InEdges.ReadRange(t, r.G.InOffsets[v], r.G.InOffsets[v+1])
-				contribArr.RandomN(t, int64(len(ins)), false)
-				t.Op(len(ins) + 1)
-				sum := 0.0
-				for _, u := range ins {
-					sum += contrib[u]
+		e.EdgeMap(full, engine.EdgeMapArgs{
+			Pull: func(v, u graph.Node, ei int64) (bool, bool) {
+				sum[v] += contrib[u]
+				return false, false
+			},
+			OnPullDone: func(v graph.Node) {
+				next[v] = base + prDamping*sum[v]
+				sum[v] = 0
+			},
+			OnPullChunk: func(lo, hi graph.Node) {
+				local := 0.0
+				for v := lo; v < hi; v++ {
+					local += math.Abs(next[v] - rank[v])
 				}
-				nv := base + prDamping*sum
-				localRes += math.Abs(nv - rank[v])
-				next[v] = nv
-			}
-			residual.add(localRes)
+				residual.add(local)
+			},
+			PerEdge:      []engine.Access{{Arr: contribArr, Write: false}},
+			PullSeqWrite: []*memsim.Array{nextArr},
 		})
 		rank, next = next, rank
 		rankArr, nextArr = nextArr, rankArr
@@ -95,7 +98,13 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 			break
 		}
 	}
-	return w.finish(&Result{App: "pr", Algorithm: "topo-pull", Rounds: rounds, Rank: append([]float64(nil), rank...)})
+	return w.finish(&Result{
+		App:       "pr",
+		Algorithm: "topo-pull",
+		Rounds:    rounds,
+		Rank:      append([]float64(nil), rank...),
+		Trace:     e.Trace(),
+	})
 }
 
 // atomicFloat accumulates float64 values concurrently via CAS on bits.

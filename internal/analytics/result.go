@@ -10,6 +10,13 @@
 //	sssp: data-driven Bellman-Ford with dense worklists, asynchronous
 //	      delta-stepping over sparse OBIM buckets
 //
+// The round-based kernels (bfs, cc label propagation, bc, kcore, Bellman-
+// Ford, pr) are all points in the configuration space of one operator
+// engine (internal/engine): the §5 variants above are engine.Configs, not
+// separate implementations. Only the asynchronous kernels (delta-stepping,
+// which schedules over OBIM priorities) and tc (a one-shot DAG
+// intersection) run outside it.
+//
 // Every kernel computes its answer natively (validated against reference
 // implementations in tests) while charging its memory-access stream to the
 // runtime's simulated machine; reported times are simulated seconds.
@@ -18,6 +25,7 @@ package analytics
 import (
 	"math"
 
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/memsim"
 )
 
@@ -42,6 +50,12 @@ type Result struct {
 	// TimedOut marks a run that exceeded its execution budget (the
 	// paper's 2-hour limit for the out-of-core experiments, Table 5).
 	TimedOut bool
+
+	// Trace is the engine's per-round record (frontier size, edge count,
+	// representation, direction, region stats) for kernels built on the
+	// operator engine; nil for asynchronous kernels (delta-stepping) and
+	// tc. It backs frontier-threshold sweeps and the §5 round accounting.
+	Trace []engine.RoundStat
 
 	// Outputs (only the fields relevant to the app are set).
 	Dist       []uint32  // bfs levels / sssp distances

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
 	"pmemgraph/internal/worklist"
@@ -28,7 +29,9 @@ func relaxMin(dist []atomic.Uint32, v graph.Node, d uint32) bool {
 // the Galois variant the paper reports as the best sssp algorithm on every
 // input (Figure 7c). Threads drain the lowest-priority bucket concurrently,
 // pushing relaxed vertices into later (or the same) buckets; there are no
-// graph-wide rounds.
+// graph-wide rounds, so it runs outside the bulk-synchronous operator
+// engine (sparse worklists plus non-vertex scheduling are exactly the
+// Galois capabilities §5.1 credits).
 func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 	if r.Weights == nil {
 		panic("analytics: SSSPDeltaStep requires a weighted runtime")
@@ -107,80 +110,94 @@ func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 	return w.finish(&Result{App: "sssp", Algorithm: "delta-step", Rounds: epochs, Dist: snapshot(dist)})
 }
 
-// SSSPBellmanFordDense is the data-driven Bellman-Ford with dense
-// worklists: the vertex-program variant available in frameworks without
-// sparse worklists (and the only sssp expressible in GraphIt per §6.1).
-// Rounds have snapshot (bulk-synchronous) semantics, so the round count is
-// bounded by the hop length of the longest shortest path — the term that
-// blows up on high-diameter graphs.
-func SSSPBellmanFordDense(r *core.Runtime, src graph.Node) *Result {
+// SSSPBellmanFord is data-driven Bellman-Ford over the operator engine:
+// bulk-synchronous rounds with snapshot semantics (distances written in
+// round i are read in round i+1), so the round count is bounded by the hop
+// length of the longest shortest path — the term that blows up on
+// high-diameter graphs. cfg selects the frontier representation and
+// direction policy; the pull form gathers tentative distances over
+// in-edges (requiring in-weights) when the frontier is edge-heavy.
+func SSSPBellmanFord(r *core.Runtime, cfg engine.Config, src graph.Node) *Result {
 	if r.Weights == nil {
-		panic("analytics: SSSPBellmanFordDense requires a weighted runtime")
+		panic("analytics: SSSPBellmanFord requires a weighted runtime")
 	}
 	w := startWindow(r.M)
+	e := engine.New(r, cfg)
 	n := r.G.NumNodes()
 	cur := make([]uint32, n)
 	next := make([]atomic.Uint32, n)
 	distArr := r.NodeArray("sssp.dist", 4)
 	nextArr := r.NodeArray("sssp.dist.next", 4)
-	r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
-		for i := lo; i < hi; i++ {
-			cur[i] = Infinity
-			next[i].Store(Infinity)
-		}
-		distArr.WriteRange(t, lo, hi)
-		nextArr.WriteRange(t, lo, hi)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn: func(v graph.Node) {
+			cur[v] = Infinity
+			next[v].Store(Infinity)
+		},
+		SeqWrite: []*memsim.Array{distArr, nextArr},
 	})
-	bits := r.ScratchArray("sssp.frontier.bits", int64(n+63)/64, 8)
 
-	fr := worklist.NewDouble(n)
 	cur[src] = 0
 	next[src].Store(0)
-	fr.Cur.Set(src)
-	active := 1
+	f := e.NewFrontier(src)
 	rounds := 0
-	for active > 0 {
+	for !f.Empty() {
 		rounds++
-		var nextActive atomic.Int64
-		r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
-			bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
-			r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-			cnt := int64(0)
-			fr.Cur.ForEachInRange(lo, hi, func(v graph.Node) {
-				dv := cur[v]
-				if dv == Infinity {
-					return
+		args := engine.EdgeMapArgs{
+			Weighted: true,
+			Push: func(u, d graph.Node, ei int64) bool {
+				du := cur[u]
+				if du == Infinity {
+					return false
 				}
-				r.Edges.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
-				r.Weights.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
-				nbrs := r.G.OutNeighbors(v)
-				ws := r.G.OutWeightsOf(v)
-				nextArr.RandomN(t, int64(len(nbrs)), true)
-				t.Op(len(nbrs))
-				for i, d := range nbrs {
-					nd := dv + ws[i]
-					if nd < dv {
-						continue
-					}
-					if relaxMin(next, d, nd) {
-						if fr.Next.Set(d) {
-							cnt++
-						}
-					}
+				nd := du + r.G.OutWeights[ei]
+				if nd < du { // overflow guard
+					return false
 				}
-			})
-			nextActive.Add(cnt)
-		})
-		// Publish the round.
-		r.ParallelItems(int64(n), func(t *memsim.Thread, lo, hi int64) {
-			nextArr.ReadRange(t, lo, hi)
-			distArr.WriteRange(t, lo, hi)
-			for i := lo; i < hi; i++ {
-				cur[i] = next[i].Load()
+				return relaxMin(next, d, nd)
+			},
+			PerEdge: []engine.Access{{Arr: nextArr, Write: true}},
+		}
+		if e.CanPull() && r.InWeights != nil && r.G.InWeights != nil {
+			cf := f
+			args.Pull = func(v, u graph.Node, ei int64) (bool, bool) {
+				if !cf.Has(u) {
+					return false, false
+				}
+				du := cur[u]
+				if du == Infinity {
+					return false, false
+				}
+				nd := du + r.G.InWeights[ei]
+				if nd < du {
+					return false, false
+				}
+				return relaxMin(next, v, nd), false
 			}
+			args.PullSeqRead = []*memsim.Array{distArr}
+			// Pull gathers the neighbor's tentative distance per edge
+			// and relaxes into next.
+			args.PullPerEdge = []engine.Access{{Arr: distArr, Write: false}, {Arr: nextArr, Write: true}}
+		}
+		f = e.EdgeMap(f, args)
+		// Publish the round.
+		e.VertexMap(engine.VertexMapArgs{
+			Fn:       func(v graph.Node) { cur[v] = next[v].Load() },
+			SeqRead:  []*memsim.Array{nextArr},
+			SeqWrite: []*memsim.Array{distArr},
 		})
-		fr.Swap()
-		active = int(nextActive.Load())
 	}
-	return w.finish(&Result{App: "sssp", Algorithm: "dense-wl", Rounds: rounds, Dist: append([]uint32(nil), cur...)})
+	return w.finish(&Result{
+		App:       "sssp",
+		Algorithm: engine.TraversalName(r, e.Config()),
+		Rounds:    rounds,
+		Dist:      append([]uint32(nil), cur...),
+		Trace:     e.Trace(),
+	})
+}
+
+// SSSPBellmanFordDense is the dense-worklist vertex-program Bellman-Ford:
+// the only sssp expressible in frameworks without priority scheduling
+// (GraphIt, §6.1).
+func SSSPBellmanFordDense(r *core.Runtime, src graph.Node) *Result {
+	return SSSPBellmanFord(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPush}, src)
 }

@@ -283,6 +283,36 @@ func (r *Runtime) InScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.
 	return r.G.InEdges[lo:hi]
 }
 
+// ChargeOutBlock charges one batched scan of the offsets and out-edge
+// (and optionally weight) arrays covering every vertex in the contiguous
+// range [lo, hi): the chunked equivalent of calling OutScan once per
+// vertex, in two sequential range reads instead of 2·(hi-lo) calls.
+func (r *Runtime) ChargeOutBlock(t *memsim.Thread, lo, hi graph.Node, weights bool) {
+	if hi <= lo {
+		return
+	}
+	r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+	elo, ehi := r.G.OutOffsets[lo], r.G.OutOffsets[hi]
+	r.Edges.ReadRange(t, elo, ehi)
+	if weights && r.Weights != nil {
+		r.Weights.ReadRange(t, elo, ehi)
+	}
+}
+
+// ChargeInBlock is ChargeOutBlock for the in-direction; the transpose
+// must be allocated.
+func (r *Runtime) ChargeInBlock(t *memsim.Thread, lo, hi graph.Node, weights bool) {
+	if hi <= lo {
+		return
+	}
+	r.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+	elo, ehi := r.G.InOffsets[lo], r.G.InOffsets[hi]
+	r.InEdges.ReadRange(t, elo, ehi)
+	if weights && r.InWeights != nil {
+		r.InWeights.ReadRange(t, elo, ehi)
+	}
+}
+
 // FootprintBytes reports the simulated bytes allocated for the graph's
 // topology (the §6.1 both-directions-vs-needed-direction comparison).
 func (r *Runtime) FootprintBytes() int64 {

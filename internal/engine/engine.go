@@ -1,0 +1,689 @@
+// Package engine is the unified Ligra/GBBS-style operator engine the
+// round-based analytics kernels are built on. The paper's §5/§6 message is
+// that one runtime with the right worklist and direction choices subsumes
+// the per-framework kernel zoo; this package embodies that claim as three
+// primitives:
+//
+//   - EdgeMap: apply a per-edge operator to the out- (push), in- (pull) or
+//     engine-chosen (direction-optimizing) neighborhoods of a frontier,
+//     returning the next frontier. Pull rounds support early exit, charged
+//     via prefix scans.
+//   - VertexMap / VertexFilter: streaming per-vertex passes (initializers,
+//     snapshot publishes, pointer jumps, peel-set selection).
+//   - Frontier: the active-vertex set, auto-converting between sparse
+//     (vertex slice) and dense (bit-vector) representations at a
+//     configurable |frontier|+out-edges threshold.
+//
+// The engine owns all memsim charging for frontier management and
+// neighborhood iteration: worklist and bit-vector traffic, offsets and
+// edge scans, and the per-edge label gathers kernels declare via Access
+// lists. Charges are batched per scheduler chunk (one RandomN/ReadRange
+// per chunk instead of one call per vertex), which is cost-identical under
+// the linear memsim model but measurably faster to simulate. It also
+// aggregates per-round RegionStats into a trace kernels surface through
+// their Result.
+package engine
+
+import (
+	"sync/atomic"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/worklist"
+)
+
+// Rep selects the frontier representation policy.
+type Rep int
+
+const (
+	// RepAuto converts between sparse and dense at the DenseFrac
+	// threshold (the Ligra hybrid).
+	RepAuto Rep = iota
+	// RepSparse keeps every frontier an explicit vertex list (Galois).
+	RepSparse
+	// RepDense keeps every frontier a |V| bit-vector (GAP/GBBS/GraphIt).
+	RepDense
+)
+
+// Dir selects the traversal direction policy.
+type Dir int
+
+const (
+	// DirAuto is direction-optimizing: pull when the frontier's edge
+	// count crosses the PullFrac threshold and the operator provides a
+	// pull form, push otherwise (Beamer-style).
+	DirAuto Dir = iota
+	// DirPush always scatters along out-edges.
+	DirPush
+	// DirPull always gathers along in-edges.
+	DirPull
+)
+
+// defaultFrac is the Ligra |E|/20 threshold shared by the representation
+// and direction switches.
+const defaultFrac = 20
+
+// Config parameterizes the engine for one kernel execution. Framework
+// profiles are expressed as Configs (dense-only, push-only, thresholds)
+// rather than as hand-picked kernel variants.
+type Config struct {
+	Rep Rep
+	Dir Dir
+	// DenseFrac: a frontier converts to dense when |frontier| plus its
+	// out-edge count exceeds |E|/DenseFrac, and back below it. 0 means
+	// the Ligra default of 20.
+	DenseFrac int64
+	// PullFrac is the same threshold for the push→pull direction switch.
+	// 0 means 20.
+	PullFrac int64
+}
+
+// Access names one array a kernel's operator touches at random, so the
+// engine can charge it in per-chunk batches.
+type Access struct {
+	Arr   *memsim.Array
+	Write bool
+}
+
+// RoundStat records one EdgeMap round for the kernel's Result trace.
+type RoundStat struct {
+	Round    int
+	Frontier int64 // active vertices entering the round
+	Edges    int64 // their total out-degree
+	Dense    bool  // representation iterated this round
+	Pull     bool  // direction used
+	Stats    memsim.RegionStats
+}
+
+// Engine binds a runtime to a Config and owns the simulated frontier
+// storage (bit-vectors and worklist array) shared by every round.
+type Engine struct {
+	R   *core.Runtime
+	cfg Config
+
+	bits     *memsim.Array // current dense frontier bits
+	nextBits *memsim.Array // next-frontier activation scatter target
+	wl       *memsim.Array // sparse worklist storage
+
+	// dedup is the reusable activation set of sparse push rounds. It is
+	// cleared in O(|activated|) after each round (Unset per activated
+	// vertex) so thousands of tiny-frontier rounds on a high-diameter
+	// graph never pay an O(|V|) zeroing.
+	dedup *worklist.Dense
+
+	rounds int
+	trace  []RoundStat
+}
+
+// addStats folds a conversion pass's region into a round's stats.
+func addStats(dst *memsim.RegionStats, src memsim.RegionStats) {
+	dst.ElapsedNs += src.ElapsedNs
+	dst.Counters.Add(src.Counters)
+}
+
+// New builds an engine over r. The frontier scratch arrays are allocated
+// through the runtime and freed by its Close.
+func New(r *core.Runtime, cfg Config) *Engine {
+	if cfg.DenseFrac <= 0 {
+		cfg.DenseFrac = defaultFrac
+	}
+	if cfg.PullFrac <= 0 {
+		cfg.PullFrac = defaultFrac
+	}
+	n := int64(r.G.NumNodes())
+	words := (n + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &Engine{
+		R:        r,
+		cfg:      cfg,
+		bits:     r.ScratchArray("engine.frontier.bits", words, 8),
+		nextBits: r.ScratchArray("engine.next.bits", words, 8),
+		wl:       r.ScratchArray("engine.wl", n, 4),
+	}
+}
+
+// Config returns the engine's configuration (with defaults filled in).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Rounds returns the number of EdgeMap rounds executed so far.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// Trace returns the per-round frontier/direction/RegionStats record.
+func (e *Engine) Trace() []RoundStat { return e.trace }
+
+// CanPull reports whether pull traversal is possible (transpose present).
+func (e *Engine) CanPull() bool { return e.R.InOffsets != nil }
+
+func (e *Engine) wantDense(count, outEdges int64) bool {
+	switch e.cfg.Rep {
+	case RepSparse:
+		return false
+	case RepDense:
+		return true
+	default:
+		return count+outEdges > e.R.G.NumEdges()/e.cfg.DenseFrac
+	}
+}
+
+// NewFrontier builds a frontier from explicit seed vertices, in the
+// representation the config prescribes. Seeding is not charged (it models
+// kernel setup outside the traversal).
+func (e *Engine) NewFrontier(vs ...graph.Node) *Frontier {
+	n := e.R.G.NumNodes()
+	f := &Frontier{
+		n:        n,
+		count:    int64(len(vs)),
+		outEdges: sumOutDegrees(e.R.G, vs),
+	}
+	if e.wantDense(f.count, f.outEdges) {
+		f.isDense = true
+		f.dense = worklist.FromVertices(n, vs)
+	} else {
+		f.sparse = append([]graph.Node(nil), vs...)
+	}
+	return f
+}
+
+// SparseFrontier wraps an existing vertex list as an explicitly sparse
+// frontier regardless of policy (e.g. the per-level lists of Brandes'
+// backward sweep, which are replayed exactly as recorded).
+func (e *Engine) SparseFrontier(vs []graph.Node) *Frontier {
+	return &Frontier{
+		n:        e.R.G.NumNodes(),
+		sparse:   vs,
+		count:    int64(len(vs)),
+		outEdges: sumOutDegrees(e.R.G, vs),
+	}
+}
+
+// FullFrontier activates every vertex (the initial frontier of
+// topology-driven kernels).
+func (e *Engine) FullFrontier() *Frontier {
+	n := e.R.G.NumNodes()
+	f := &Frontier{n: n, count: int64(n), outEdges: e.R.G.NumEdges()}
+	if e.wantDense(f.count, f.outEdges) {
+		f.isDense = true
+		f.dense = worklist.Full(n)
+	} else {
+		vs := make([]graph.Node, n)
+		for i := range vs {
+			vs[i] = graph.Node(i)
+		}
+		f.sparse = vs
+	}
+	return f
+}
+
+// EdgeMapArgs declares one edge-operator application.
+type EdgeMapArgs struct {
+	// Push is invoked for every edge (u, d) leaving an active vertex u
+	// when traversing in the push direction; ei indexes the edge arrays
+	// of the direction being scanned. It returns whether d's value
+	// improved (the engine activates d in the next frontier, deduped).
+	Push func(u, d graph.Node, ei int64) bool
+	// Pull is invoked for every in-edge (u, v) of a candidate vertex v
+	// when traversing in the pull direction. It returns whether v became
+	// active and whether v's scan can stop early (charged as a prefix
+	// scan via the runtime's in-direction arrays).
+	Pull func(v, u graph.Node, ei int64) (active, stop bool)
+	// PullCond gates which vertices scan in pull rounds (nil = all).
+	// When nil the engine assumes whole-neighborhood scans and charges
+	// edge reads in contiguous per-chunk blocks.
+	PullCond func(v graph.Node) bool
+	// OnPullDone runs after a vertex's pull scan completes (same thread),
+	// for per-vertex reductions such as pagerank's sum finalization.
+	OnPullDone func(v graph.Node)
+	// OnPullChunk runs once per scheduler chunk after its vertices are
+	// processed (same thread), for contention-free chunk reductions
+	// (e.g. pagerank's residual: accumulate locally over [lo, hi), then
+	// publish once).
+	OnPullChunk func(lo, hi graph.Node)
+	// Symmetric also traverses the transpose in push mode and the
+	// out-direction in pull mode: undirected propagation (cc, kcore).
+	Symmetric bool
+	// Weighted charges edge-weight reads alongside edge scans.
+	Weighted bool
+	// PerEdge are arrays randomly accessed once per visited edge (label
+	// gathers and scatters), charged per chunk.
+	PerEdge []Access
+	// PullPerEdge overrides PerEdge for pull rounds, whose per-edge
+	// access pattern usually differs from push (a gather of the
+	// neighbor's current value instead of a scatter to the target's).
+	// nil means pull rounds charge PerEdge; an empty non-nil slice
+	// means pull rounds have no per-edge operator accesses (e.g. bfs,
+	// whose pull only tests frontier bits already charged per shard).
+	PullPerEdge []Access
+	// PerVertex are arrays randomly accessed once per processed vertex.
+	PerVertex []Access
+	// PullSeqRead/PullSeqWrite are node arrays streamed across each
+	// vertex shard of a pull round (e.g. the dist array the pull
+	// condition consults).
+	PullSeqRead  []*memsim.Array
+	PullSeqWrite []*memsim.Array
+}
+
+// EdgeMap runs one round: it applies the operator to f's neighborhoods in
+// the direction and representation the config selects, charges all
+// traversal traffic, records a RoundStat, and returns the next frontier
+// (auto-converted to the policy's representation).
+func (e *Engine) EdgeMap(f *Frontier, args EdgeMapArgs) *Frontier {
+	pull := false
+	switch {
+	case args.Pull == nil || !e.CanPull():
+		// push only
+	case args.Push == nil, e.cfg.Dir == DirPull:
+		pull = true
+	case e.cfg.Dir == DirPush:
+		// push only
+	default:
+		pull = f.count+f.outEdges > e.R.G.NumEdges()/e.cfg.PullFrac
+	}
+
+	e.rounds++
+	rs := RoundStat{Round: e.rounds, Frontier: f.count, Edges: f.outEdges, Pull: pull}
+
+	var next *Frontier
+	switch {
+	case pull:
+		conv := e.toDense(f)
+		rs.Dense = true
+		next = e.pullRound(f, &args, &rs)
+		addStats(&rs.Stats, conv)
+	case f.isDense:
+		rs.Dense = true
+		next = e.pushDense(f, &args, &rs)
+	default:
+		next = e.pushSparse(f, &args, &rs)
+	}
+
+	// Representation maintenance for the next round.
+	if next.count > 0 && e.wantDense(next.count, next.outEdges) != next.isDense {
+		e.convert(next, &rs)
+	}
+	e.trace = append(e.trace, rs)
+	return next
+}
+
+// pushSparse scatters from an explicit vertex list: the Galois sparse
+// worklist round. Only the frontier's own vertices and edges are charged.
+func (e *Engine) pushSparse(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
+	g := e.R.G
+	if e.dedup == nil {
+		e.dedup = worklist.NewDense(f.n)
+	}
+	nextSet := e.dedup
+	bag := worklist.NewBag()
+	var cnt, outEdges atomic.Int64
+	stats := e.R.ParallelItems(int64(len(f.sparse)), func(t *memsim.Thread, lo, hi int64) {
+		h := bag.NewHandle()
+		e.wl.ReadRange(t, lo, hi)
+		var chunkVerts, chunkEdges, pushed, nextOut int64
+		activate := func(d graph.Node) {
+			if nextSet.Set(d) {
+				h.Push(d)
+				pushed++
+				nextOut += g.OutDegree(d)
+			}
+		}
+		for _, u := range f.sparse[lo:hi] {
+			chunkVerts++
+			chunkEdges += e.scanPush(t, u, args, activate)
+		}
+		h.Flush()
+		e.chargePushChunk(t, args, chunkVerts, chunkEdges, true)
+		e.wl.WriteRange(t, 0, pushed)
+		cnt.Add(pushed)
+		outEdges.Add(nextOut)
+	})
+	rs.Stats = stats
+	next := &Frontier{n: f.n, sparse: bag.Drain(), count: cnt.Load(), outEdges: outEdges.Load()}
+	for _, v := range next.sparse {
+		nextSet.Unset(v)
+	}
+	return next
+}
+
+// pushDense scatters from the bit-vector representation: every round scans
+// the whole frontier bit-vector and offsets array (the §5.2 dense-worklist
+// penalty), visiting edges only for active vertices.
+func (e *Engine) pushDense(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
+	g := e.R.G
+	n := int64(f.n)
+	nextSet := worklist.NewDense(f.n)
+	var cnt, outEdges atomic.Int64
+	stats := e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+		if f.count < n {
+			e.bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
+		}
+		if f.count == n {
+			// Full frontier: every edge in the shard is scanned, so
+			// charge offsets and edges as contiguous blocks.
+			e.R.ChargeOutBlock(t, lo, hi, args.Weighted)
+			if args.Symmetric {
+				e.R.ChargeInBlock(t, lo, hi, args.Weighted)
+			}
+		} else {
+			e.R.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			if args.Symmetric {
+				e.R.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+			}
+		}
+		var chunkVerts, chunkEdges, pushed, nextOut int64
+		activate := func(d graph.Node) {
+			if nextSet.Set(d) {
+				pushed++
+				nextOut += g.OutDegree(d)
+			}
+		}
+		perVertexEdges := f.count < n
+		f.dense.ForEachInRange(lo, hi, func(u graph.Node) {
+			chunkVerts++
+			chunkEdges += e.scanPushCharged(t, u, args, activate, perVertexEdges)
+		})
+		e.chargePushChunk(t, args, chunkVerts, chunkEdges, false)
+		e.nextBits.RandomN(t, pushed, true)
+		cnt.Add(pushed)
+		outEdges.Add(nextOut)
+	})
+	rs.Stats = stats
+	return &Frontier{n: f.n, dense: nextSet, isDense: true, count: cnt.Load(), outEdges: outEdges.Load()}
+}
+
+// scanPush visits u's out- (and with Symmetric, in-) neighborhood, charging
+// edge reads per vertex, and returns the number of edges visited.
+func (e *Engine) scanPush(t *memsim.Thread, u graph.Node, args *EdgeMapArgs, activate func(graph.Node)) int64 {
+	return e.scanPushCharged(t, u, args, activate, true)
+}
+
+func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapArgs, activate func(graph.Node), chargeEdges bool) int64 {
+	g := e.R.G
+	lo, hi := g.OutOffsets[u], g.OutOffsets[u+1]
+	if chargeEdges {
+		e.R.Edges.ReadRange(t, lo, hi)
+		if args.Weighted && e.R.Weights != nil {
+			e.R.Weights.ReadRange(t, lo, hi)
+		}
+	}
+	edges := hi - lo
+	for ei := lo; ei < hi; ei++ {
+		if args.Push(u, g.OutEdges[ei], ei) {
+			activate(g.OutEdges[ei])
+		}
+	}
+	if args.Symmetric {
+		ilo, ihi := g.InOffsets[u], g.InOffsets[u+1]
+		if chargeEdges {
+			e.R.InEdges.ReadRange(t, ilo, ihi)
+		}
+		edges += ihi - ilo
+		for ei := ilo; ei < ihi; ei++ {
+			if args.Push(u, g.InEdges[ei], ei) {
+				activate(g.InEdges[ei])
+			}
+		}
+	}
+	return edges
+}
+
+// chargePushChunk issues the batched per-chunk charges of a push round:
+// one random offsets gather per frontier vertex (sparse rounds only; dense
+// rounds stream the offsets array instead) and the declared per-edge and
+// per-vertex operator accesses.
+func (e *Engine) chargePushChunk(t *memsim.Thread, args *EdgeMapArgs, verts, edges int64, offsetGather bool) {
+	if offsetGather {
+		e.R.Offsets.RandomN(t, verts, false)
+		if args.Symmetric {
+			e.R.InOffsets.RandomN(t, verts, false)
+		}
+	}
+	for _, a := range args.PerEdge {
+		a.Arr.RandomN(t, edges, a.Write)
+	}
+	for _, a := range args.PerVertex {
+		a.Arr.RandomN(t, verts, a.Write)
+	}
+	t.Op(int(edges))
+}
+
+// pullRound gathers along in-edges: every vertex passing PullCond scans
+// its in-neighborhood, stopping early if the operator says so. Whole
+// scans (PullCond == nil) are charged as contiguous blocks; early-exit
+// scans as per-vertex prefixes.
+func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
+	g := e.R.G
+	n := int64(f.n)
+	nextSet := worklist.NewDense(f.n)
+	whole := args.PullCond == nil
+	var cnt, outEdges atomic.Int64
+	stats := e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+		if f.count < n {
+			e.bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
+		}
+		for _, arr := range args.PullSeqRead {
+			arr.ReadRange(t, int64(lo), int64(hi))
+		}
+		for _, arr := range args.PullSeqWrite {
+			arr.WriteRange(t, int64(lo), int64(hi))
+		}
+		if whole {
+			e.R.ChargeInBlock(t, lo, hi, args.Weighted)
+			if args.Symmetric {
+				e.R.ChargeOutBlock(t, lo, hi, args.Weighted)
+			}
+		} else {
+			e.R.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+			if args.Symmetric {
+				e.R.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			}
+		}
+		var chunkVerts, chunkScanned, activated, nextOut int64
+		for v := lo; v < hi; v++ {
+			if !whole && !args.PullCond(v) {
+				continue
+			}
+			chunkVerts++
+			active := false
+			stopped := false
+			ilo, ihi := g.InOffsets[v], g.InOffsets[v+1]
+			scanned := int64(0)
+			for ei := ilo; ei < ihi; ei++ {
+				scanned++
+				a, stop := args.Pull(v, g.InEdges[ei], ei)
+				active = active || a
+				if stop {
+					stopped = true
+					break
+				}
+			}
+			if !whole {
+				e.R.InEdges.ReadRange(t, ilo, ilo+scanned)
+			}
+			chunkScanned += scanned
+			if args.Symmetric && !stopped {
+				olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
+				oscanned := int64(0)
+				for ei := olo; ei < ohi; ei++ {
+					oscanned++
+					a, stop := args.Pull(v, g.OutEdges[ei], ei)
+					active = active || a
+					if stop {
+						break
+					}
+				}
+				if !whole {
+					e.R.Edges.ReadRange(t, olo, olo+oscanned)
+				}
+				chunkScanned += oscanned
+			}
+			if active && nextSet.Set(v) {
+				activated++
+				nextOut += g.OutDegree(v)
+			}
+			if args.OnPullDone != nil {
+				args.OnPullDone(v)
+			}
+		}
+		perEdge := args.PerEdge
+		if args.PullPerEdge != nil {
+			perEdge = args.PullPerEdge
+		}
+		for _, a := range perEdge {
+			a.Arr.RandomN(t, chunkScanned, a.Write)
+		}
+		for _, a := range args.PerVertex {
+			a.Arr.RandomN(t, chunkVerts, a.Write)
+		}
+		ops := chunkScanned
+		if args.OnPullDone != nil {
+			ops += chunkVerts
+		}
+		t.Op(int(ops))
+		e.nextBits.RandomN(t, activated, true)
+		if args.OnPullChunk != nil {
+			args.OnPullChunk(lo, hi)
+		}
+		cnt.Add(activated)
+		outEdges.Add(nextOut)
+	})
+	rs.Stats = stats
+	return &Frontier{n: f.n, dense: nextSet, isDense: true, count: cnt.Load(), outEdges: outEdges.Load()}
+}
+
+// toDense converts f to the dense representation in place (pull rounds
+// need O(1) membership), charging the worklist read and bit scatter, and
+// returns the conversion pass's stats.
+func (e *Engine) toDense(f *Frontier) memsim.RegionStats {
+	if f.isDense {
+		return memsim.RegionStats{}
+	}
+	vs := f.sparse
+	stats := e.R.ParallelItems(int64(len(vs)), func(t *memsim.Thread, lo, hi int64) {
+		e.wl.ReadRange(t, lo, hi)
+		e.bits.RandomN(t, hi-lo, true)
+	})
+	f.dense = worklist.FromVertices(f.n, vs)
+	f.isDense = true
+	f.sparse = nil
+	return stats
+}
+
+// convert flips f's representation to match the policy threshold, charging
+// the conversion passes, and folds their cost into the round's stats.
+func (e *Engine) convert(f *Frontier, rs *RoundStat) {
+	if f.isDense {
+		words := int64(f.dense.WordCount())
+		scan := e.R.ParallelItems(words, func(t *memsim.Thread, lo, hi int64) {
+			e.bits.ReadRange(t, lo, hi)
+		})
+		vs := f.dense.Vertices(make([]graph.Node, 0, f.count))
+		write := e.R.ParallelItems(f.count, func(t *memsim.Thread, lo, hi int64) {
+			e.wl.WriteRange(t, lo, hi)
+		})
+		f.sparse = vs
+		f.dense = nil
+		f.isDense = false
+		addStats(&rs.Stats, scan)
+		addStats(&rs.Stats, write)
+	} else {
+		addStats(&rs.Stats, e.toDense(f))
+	}
+}
+
+// VertexMapArgs declares one streaming per-vertex pass.
+type VertexMapArgs struct {
+	// Fn runs once per vertex on the owning thread.
+	Fn func(v graph.Node)
+	// SeqRead/SeqWrite are node arrays streamed per chunk.
+	SeqRead  []*memsim.Array
+	SeqWrite []*memsim.Array
+	// PerVertex are arrays randomly accessed once per vertex (e.g. the
+	// label chain of a shortcut/pointer-jump pass).
+	PerVertex []Access
+	// Ops charges one operator application per vertex.
+	Ops bool
+}
+
+// VertexMap applies the pass to every vertex, charging sequential accesses
+// per chunk.
+func (e *Engine) VertexMap(a VertexMapArgs) memsim.RegionStats {
+	return e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+		e.chargeVertexChunk(t, &a, lo, hi)
+		if a.Fn != nil {
+			for v := lo; v < hi; v++ {
+				a.Fn(v)
+			}
+		}
+	})
+}
+
+// VertexFilter is VertexMap plus a predicate: it returns the frontier of
+// vertices for which keep is true, charging the worklist writes.
+func (e *Engine) VertexFilter(a VertexMapArgs, keep func(v graph.Node) bool) *Frontier {
+	g := e.R.G
+	bag := worklist.NewBag()
+	var cnt, outEdges atomic.Int64
+	e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
+		e.chargeVertexChunk(t, &a, lo, hi)
+		h := bag.NewHandle()
+		var kept, nextOut int64
+		for v := lo; v < hi; v++ {
+			if a.Fn != nil {
+				a.Fn(v)
+			}
+			if keep(v) {
+				h.Push(v)
+				kept++
+				nextOut += g.OutDegree(v)
+			}
+		}
+		h.Flush()
+		e.wl.WriteRange(t, 0, kept)
+		cnt.Add(kept)
+		outEdges.Add(nextOut)
+	})
+	f := &Frontier{n: g.NumNodes(), sparse: bag.Drain(), count: cnt.Load(), outEdges: outEdges.Load()}
+	if f.count > 0 && e.wantDense(f.count, f.outEdges) {
+		f.dense = worklist.FromVertices(f.n, f.sparse)
+		f.isDense = true
+		f.sparse = nil
+	}
+	return f
+}
+
+func (e *Engine) chargeVertexChunk(t *memsim.Thread, a *VertexMapArgs, lo, hi graph.Node) {
+	for _, arr := range a.SeqRead {
+		arr.ReadRange(t, int64(lo), int64(hi))
+	}
+	for _, arr := range a.SeqWrite {
+		arr.WriteRange(t, int64(lo), int64(hi))
+	}
+	for _, acc := range a.PerVertex {
+		acc.Arr.RandomN(t, int64(hi-lo), acc.Write)
+	}
+	if a.Ops {
+		t.Op(int(hi - lo))
+	}
+}
+
+// TraversalName names the traversal a config produces on r, matching the
+// paper's algorithm labels: sparse-wl, dense-wl, hybrid-wl, or dir-opt
+// when pull rounds are reachable.
+func TraversalName(r *core.Runtime, cfg Config) string {
+	if cfg.Dir != DirPush && r.InOffsets != nil {
+		return "dir-opt"
+	}
+	switch cfg.Rep {
+	case RepSparse:
+		return "sparse-wl"
+	case RepDense:
+		return "dense-wl"
+	default:
+		return "hybrid-wl"
+	}
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/worklist"
+)
+
+// Frontier is the set of active vertices flowing between rounds of an
+// EdgeMap-based kernel. It is held either sparsely (an explicit vertex
+// slice, the Galois-style worklist) or densely (a |V| bit-vector, the
+// Ligra/GBBS/GraphIt representation) and auto-converts between the two at
+// the engine's |frontier| + out-edges(frontier) threshold. Alongside the
+// membership set it tracks the number of out-edges leaving the frontier,
+// the quantity both the representation switch and the push/pull direction
+// choice are driven by.
+type Frontier struct {
+	n        int
+	sparse   []graph.Node
+	dense    *worklist.Dense
+	isDense  bool
+	count    int64
+	outEdges int64
+}
+
+// Count returns the number of active vertices.
+func (f *Frontier) Count() int64 { return f.count }
+
+// OutEdges returns the total out-degree of the active vertices.
+func (f *Frontier) OutEdges() int64 { return f.outEdges }
+
+// Empty reports whether no vertex is active.
+func (f *Frontier) Empty() bool { return f.count == 0 }
+
+// IsDense reports the current representation.
+func (f *Frontier) IsDense() bool { return f.isDense }
+
+// Has reports whether v is active, in either representation.
+func (f *Frontier) Has(v graph.Node) bool {
+	if f.isDense {
+		return f.dense.Test(v)
+	}
+	for _, u := range f.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Vertices materializes the active set as a vertex slice (in ascending ID
+// order for dense frontiers, activation order for sparse ones). The host-
+// side copy is not charged to the simulator; kernels that iterate the
+// result do so through EdgeMap, which charges the worklist reads.
+func (f *Frontier) Vertices() []graph.Node {
+	if f.isDense {
+		return f.dense.Vertices(make([]graph.Node, 0, f.count))
+	}
+	return f.sparse
+}
+
+// sumOutDegrees computes the out-edge total of a vertex set.
+func sumOutDegrees(g *graph.Graph, vs []graph.Node) int64 {
+	var total int64
+	for _, v := range vs {
+		total += g.OutDegree(v)
+	}
+	return total
+}

@@ -1,6 +1,11 @@
 // Package frameworks encodes the four shared-memory graph frameworks the
 // paper evaluates — Galois, GAP, GBBS (Ligra) and GraphIt — as constraint
-// profiles over the core runtime and the analytics kernels (§6.1):
+// profiles over the core runtime and the shared operator-engine kernels
+// (§6.1). A profile is not a table of kernel variants: it is a set of
+// capabilities translated into engine parameters (frontier representation,
+// direction policy, conversion threshold) and runtime options (pages,
+// NUMA, edge directions), under which the one kernel per app specializes
+// into the behavior the paper measured:
 //
 //	               Galois      GAP         GBBS        GraphIt
 //	pages          2MB expl.   4KB+THP     4KB+THP     4KB+THP
@@ -8,7 +13,7 @@
 //	directions     as needed   both        both        both
 //	worklists      sparse+dense dense      dense       dense
 //	programs       non-vertex  vertex      vertex      vertex only
-//	bfs            sparse push dir-opt     dir-opt     dir-opt
+//	buckets        OBIM        yes         Julienne    no
 //	sssp           delta-step  delta-step  delta-step  Bellman-Ford
 //	cc             LP-shortcut ptr-jump    ptr-jump    label prop
 //	bc             sparse      dense       dense       (missing)
@@ -25,11 +30,16 @@ import (
 
 	"pmemgraph/internal/analytics"
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
 )
 
-// Profile describes one framework's constraints.
+// Profile describes one framework's constraints. A profile is executed by
+// translating these capabilities into operator-engine parameters (frontier
+// representation, direction policy, conversion threshold — see Engine)
+// plus runtime options (pages, NUMA, directions — see Options); the
+// kernels themselves are shared.
 type Profile struct {
 	Name string
 
@@ -42,15 +52,44 @@ type Profile struct {
 	// BothDirections: allocates in- and out-edges regardless of need.
 	BothDirections bool
 	// SparseWorklists: supports Galois-style sparse worklists (and with
-	// them asynchronous data-driven algorithms).
+	// them asynchronous data-driven algorithms). Frameworks without them
+	// run every frontier as a dense bit-vector.
 	SparseWorklists bool
-	// NonVertexPrograms: operators may touch arbitrary neighborhoods.
+	// NonVertexPrograms: operators may touch arbitrary neighborhoods
+	// (label-chain shortcutting, asynchronous scheduling).
 	NonVertexPrograms bool
+	// BucketedWorklists: ordered (priority-bucketed) scheduling is
+	// expressible, enabling delta-stepping sssp. True for Galois (OBIM),
+	// GAP and GBBS (Julienne-style buckets); GraphIt's DSL cannot
+	// express it (§6.1).
+	BucketedWorklists bool
+	// ArbitraryOps: operators may perform per-vertex memory operations
+	// beyond neighbor reductions (pointer jumping for cc). True for the
+	// library frameworks; false for the GraphIt DSL.
+	ArbitraryOps bool
 	// Signed32NodeIDs caps loadable graphs at 2^31-1 nodes.
 	Signed32NodeIDs bool
+	// DenseFrac overrides the engine's frontier-conversion and
+	// direction-switch threshold |E|/20 (0 = default).
+	DenseFrac int64
 
 	// Apps lists the supported benchmarks.
 	Apps map[string]bool
+}
+
+// Engine translates the profile into operator-engine parameters: frontier
+// representation (sparse-capable frameworks auto-convert, the rest are
+// dense-only), direction-optimizing traversal (available everywhere; it
+// degrades to push when the runtime holds no transpose), and the
+// conversion threshold.
+func (p Profile) Engine() engine.Config {
+	cfg := engine.Config{Dir: engine.DirAuto, DenseFrac: p.DenseFrac, PullFrac: p.DenseFrac}
+	if p.SparseWorklists {
+		cfg.Rep = engine.RepAuto
+	} else {
+		cfg.Rep = engine.RepDense
+	}
+	return cfg
 }
 
 // The paper's four frameworks.
@@ -61,18 +100,24 @@ var (
 		AppNUMA:           true,
 		SparseWorklists:   true,
 		NonVertexPrograms: true,
+		BucketedWorklists: true,
+		ArbitraryOps:      true,
 		Apps:              appSet("bc", "bfs", "cc", "kcore", "pr", "sssp", "tc"),
 	}
 	GAP = Profile{
-		Name:            "GAP",
-		BothDirections:  true,
-		Signed32NodeIDs: true,
-		Apps:            appSet("bc", "bfs", "cc", "pr", "sssp", "tc"),
+		Name:              "GAP",
+		BothDirections:    true,
+		BucketedWorklists: true,
+		ArbitraryOps:      true,
+		Signed32NodeIDs:   true,
+		Apps:              appSet("bc", "bfs", "cc", "pr", "sssp", "tc"),
 	}
 	GBBS = Profile{
-		Name:           "GBBS",
-		BothDirections: true,
-		Apps:           appSet("bc", "bfs", "cc", "kcore", "pr", "sssp", "tc"),
+		Name:              "GBBS",
+		BothDirections:    true,
+		BucketedWorklists: true,
+		ArbitraryOps:      true,
+		Apps:              appSet("bc", "bfs", "cc", "kcore", "pr", "sssp", "tc"),
 	}
 	GraphIt = Profile{
 		Name:            "GraphIt",
@@ -183,7 +228,10 @@ func DefaultParams(g *graph.Graph) Params {
 }
 
 // Run executes app under this framework's constraints on the runtime r
-// (which must have been built with p.Options(app, threads)).
+// (which must have been built with p.Options(app, threads)). The profile
+// reaches the shared kernels as engine parameters (p.Engine()) plus the
+// capability flags that gate whole algorithm families — there is no
+// per-framework kernel-variant table.
 func (p Profile) Run(r *core.Runtime, app string, params Params) (*analytics.Result, error) {
 	if !p.Supports(app) {
 		return nil, fmt.Errorf("frameworks: %s does not implement %s", p.Name, app)
@@ -191,38 +239,32 @@ func (p Profile) Run(r *core.Runtime, app string, params Params) (*analytics.Res
 	if !p.CanLoad(r.G) {
 		return nil, fmt.Errorf("frameworks: %s cannot load %d nodes (signed 32-bit node IDs)", p.Name, r.G.NumNodes())
 	}
+	cfg := p.Engine()
 	switch app {
 	case "bfs":
-		if p.SparseWorklists {
-			return analytics.BFSSparse(r, params.Source), nil
-		}
-		return analytics.BFSDirOpt(r, params.Source), nil
+		return analytics.BFS(r, cfg, params.Source), nil
 	case "sssp":
-		switch p.Name {
-		case GraphIt.Name:
-			// GraphIt cannot express delta-stepping (§6.1).
-			return analytics.SSSPBellmanFordDense(r, params.Source), nil
-		default:
+		if p.BucketedWorklists {
 			return analytics.SSSPDeltaStep(r, params.Source, params.Delta), nil
 		}
+		// Without priority buckets the only expressible sssp is
+		// bulk-synchronous Bellman-Ford (§6.1).
+		return analytics.SSSPBellmanFord(r, cfg, params.Source), nil
 	case "cc":
 		switch {
 		case p.NonVertexPrograms:
-			return analytics.CCLabelPropSC(r), nil
-		case p.Name == GraphIt.Name:
-			return analytics.CCLabelPropDense(r), nil
-		default:
+			return analytics.CCLabelProp(r, cfg, true), nil
+		case p.ArbitraryOps:
 			return analytics.CCPointerJump(r), nil
+		default:
+			return analytics.CCLabelProp(r, cfg, false), nil
 		}
 	case "pr":
 		return analytics.PageRank(r, params.Tol, params.Rounds), nil
 	case "bc":
-		return analytics.BC(r, params.Source, analytics.BCOptions{DenseFrontier: !p.SparseWorklists}), nil
+		return analytics.Brandes(r, cfg, params.Source), nil
 	case "kcore":
-		if p.SparseWorklists {
-			return analytics.KCoreSparse(r, params.K), nil
-		}
-		return analytics.KCoreDense(r, params.K), nil
+		return analytics.KCore(r, cfg, params.K), nil
 	case "tc":
 		return analytics.TC(r), nil
 	default:

@@ -105,8 +105,30 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: weights length %d != edges length %d", len(g.OutWeights), len(g.OutEdges))
 	}
 	if g.HasIn() {
+		if len(g.InOffsets) != n+1 {
+			return fmt.Errorf("graph: InOffsets length %d, want %d", len(g.InOffsets), n+1)
+		}
+		if g.InOffsets[0] != 0 {
+			return fmt.Errorf("graph: InOffsets[0] = %d, want 0", g.InOffsets[0])
+		}
+		for v := 0; v < n; v++ {
+			if g.InOffsets[v+1] < g.InOffsets[v] {
+				return fmt.Errorf("graph: InOffsets not monotone at node %d", v)
+			}
+		}
+		if g.InOffsets[n] != int64(len(g.InEdges)) {
+			return fmt.Errorf("graph: InOffsets[n]=%d != in-edge count %d", g.InOffsets[n], len(g.InEdges))
+		}
 		if int64(len(g.InEdges)) != g.NumEdges() {
 			return fmt.Errorf("graph: in-edge count %d != out-edge count %d", len(g.InEdges), g.NumEdges())
+		}
+		for i, s := range g.InEdges {
+			if int(s) >= n {
+				return fmt.Errorf("graph: in-edge %d sources from node %d >= n=%d", i, s, n)
+			}
+		}
+		if g.InWeights != nil && len(g.InWeights) != len(g.InEdges) {
+			return fmt.Errorf("graph: in-weights length %d != in-edges length %d", len(g.InWeights), len(g.InEdges))
 		}
 	}
 	return nil

@@ -48,7 +48,35 @@ func WriteCSR(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadCSR deserializes a graph written by WriteCSR and validates it.
+// MaxCSRBytes caps the implied in-memory size of a deserialized graph
+// (offsets + edges + weights). Table 3's largest input (wdc12) is ~2 TB of
+// CSR; headers implying more than twice that are treated as corrupt or
+// hostile rather than honored with a fatal allocation.
+const MaxCSRBytes = int64(4) << 40
+
+// impliedCSRBytes returns the bytes a header's node/edge counts commit us
+// to allocating, or -1 on overflow.
+func impliedCSRBytes(nodes uint64, edges uint64, weighted bool) int64 {
+	offBytes := (nodes + 1) * 8
+	edgeBytes := edges * 4
+	if weighted {
+		edgeBytes *= 2
+	}
+	total := offBytes + edgeBytes
+	if offBytes/8 != nodes+1 || (edges > 0 && edgeBytes/edges < 4) || total < offBytes {
+		return -1
+	}
+	if total > uint64(MaxCSRBytes) {
+		return -1
+	}
+	return int64(total)
+}
+
+// ReadCSR deserializes a graph written by WriteCSR and validates it. A
+// header whose node or edge counts imply an absurd allocation (overflow,
+// node IDs beyond uint32, or more than MaxCSRBytes of CSR) is rejected
+// before any slice is allocated, so a corrupt or hostile file produces an
+// error instead of an OOM.
 func ReadCSR(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [4]uint64
@@ -60,23 +88,26 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 	if hdr[0] != csrMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
 	}
+	if hdr[1]&^uint64(flagWeighted) != 0 {
+		return nil, fmt.Errorf("graph: unknown header flags %#x", hdr[1])
+	}
+	if hdr[2] > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("graph: node count %d exceeds 32-bit node IDs", hdr[2])
+	}
+	if impliedCSRBytes(hdr[2], hdr[3], hdr[1]&flagWeighted != 0) < 0 {
+		return nil, fmt.Errorf("graph: header implies absurd size (nodes=%d edges=%d)", hdr[2], hdr[3])
+	}
 	nodes, edges := int(hdr[2]), int64(hdr[3])
-	if nodes < 0 || edges < 0 {
-		return nil, fmt.Errorf("graph: bad shape nodes=%d edges=%d", nodes, edges)
-	}
-	g := &Graph{
-		OutOffsets: make([]int64, nodes+1),
-		OutEdges:   make([]Node, edges),
-	}
-	if err := binary.Read(br, binary.LittleEndian, g.OutOffsets); err != nil {
+	g := &Graph{}
+	var err error
+	if g.OutOffsets, err = readSlice[int64](br, int64(nodes)+1); err != nil {
 		return nil, fmt.Errorf("graph: read offsets: %w", err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.OutEdges); err != nil {
+	if g.OutEdges, err = readSlice[uint32](br, edges); err != nil {
 		return nil, fmt.Errorf("graph: read edges: %w", err)
 	}
 	if hdr[1]&flagWeighted != 0 {
-		g.OutWeights = make([]uint32, edges)
-		if err := binary.Read(br, binary.LittleEndian, g.OutWeights); err != nil {
+		if g.OutWeights, err = readSlice[uint32](br, edges); err != nil {
 			return nil, fmt.Errorf("graph: read weights: %w", err)
 		}
 	}
@@ -84,4 +115,22 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// readChunk is the element granularity of incremental deserialization:
+// slices grow as data actually arrives, so a truncated file whose header
+// claims terabytes errors out at EOF instead of committing the full
+// claimed allocation up front.
+const readChunk = 1 << 20
+
+func readSlice[T int64 | uint32](r io.Reader, n int64) ([]T, error) {
+	out := make([]T, 0, min(n, readChunk))
+	for int64(len(out)) < n {
+		c := min(n-int64(len(out)), readChunk)
+		out = append(out, make([]T, c)...)
+		if err := binary.Read(r, binary.LittleEndian, out[int64(len(out))-c:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// header serializes a CSR header with arbitrary fields.
+func header(magic, flags, nodes, edges uint64) []byte {
+	var buf bytes.Buffer
+	for _, v := range []uint64{magic, flags, nodes, edges} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	return buf.Bytes()
+}
+
+func TestReadCSRWeightedRoundTrip(t *testing.T) {
+	g := smallGraph()
+	g.AddRandomWeights(40, 7)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasWeights() {
+		t.Fatal("weights lost in round trip")
+	}
+	for i := range g.OutWeights {
+		if g.OutWeights[i] != h.OutWeights[i] {
+			t.Fatalf("weight %d = %d, want %d", i, h.OutWeights[i], g.OutWeights[i])
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("round-tripped graph invalid: %v", err)
+	}
+}
+
+func TestReadCSRRejectsAbsurdHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		"huge-nodes": header(csrMagic, 0, 1<<60, 4),
+		// Node count beyond uint32 IDs but within the byte cap.
+		"wide-nodes":      header(csrMagic, 0, 1<<33, 4),
+		"huge-edges":      header(csrMagic, 0, 4, 1<<61),
+		"overflow-both":   header(csrMagic, flagWeighted, ^uint64(0), ^uint64(0)),
+		"unknown-flags":   header(csrMagic, 0xFF00, 4, 4),
+		"wrong-magic":     header(0xdeadbeef, 0, 4, 4),
+		"truncated-magic": {0x50, 0x4d},
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSR(bytes.NewReader(raw)); err == nil {
+				t.Error("hostile header accepted")
+			}
+		})
+	}
+}
+
+func TestReadCSRTruncatedBodyErrorsWithoutCommittingClaimedSize(t *testing.T) {
+	// A header claiming ~1 billion edges over an empty body must fail at
+	// EOF, not OOM: deserialization grows with arriving data.
+	raw := header(csrMagic, 0, 10, 1<<30)
+	if _, err := ReadCSR(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated body accepted")
+	} else if !strings.Contains(err.Error(), "offsets") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Valid offsets but missing edges.
+	g := smallGraph()
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := ReadCSR(bytes.NewReader(whole[:len(whole)-4])); err == nil {
+		t.Fatal("truncated edges accepted")
+	}
+}
+
+func TestReadCSRRejectsCorruptBody(t *testing.T) {
+	g := smallGraph()
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Point an edge beyond the node count: Validate must reject it.
+	edgeStart := 4*8 + (g.NumNodes()+1)*8
+	binary.LittleEndian.PutUint32(raw[edgeStart:], 999)
+	if _, err := ReadCSR(bytes.NewReader(raw)); err == nil {
+		t.Error("out-of-range edge target accepted")
+	}
+}
+
+func TestValidateInDirectionInvariants(t *testing.T) {
+	fresh := func() *Graph {
+		g := smallGraph()
+		g.BuildIn()
+		return g
+	}
+	if err := fresh().Validate(); err != nil {
+		t.Fatalf("valid transpose rejected: %v", err)
+	}
+	t.Run("nonzero-first-offset", func(t *testing.T) {
+		g := fresh()
+		g.InOffsets[0] = 2
+		if g.Validate() == nil {
+			t.Error("InOffsets[0] != 0 accepted")
+		}
+	})
+	t.Run("non-monotone", func(t *testing.T) {
+		g := fresh()
+		g.InOffsets[1] = g.InOffsets[2] + 1
+		if g.Validate() == nil {
+			t.Error("non-monotone InOffsets accepted")
+		}
+	})
+	t.Run("count-mismatch", func(t *testing.T) {
+		g := fresh()
+		g.InEdges = g.InEdges[:len(g.InEdges)-1]
+		if g.Validate() == nil {
+			t.Error("in/out edge count mismatch accepted")
+		}
+	})
+	t.Run("source-out-of-range", func(t *testing.T) {
+		g := fresh()
+		g.InEdges[0] = 77
+		if g.Validate() == nil {
+			t.Error("out-of-range in-edge source accepted")
+		}
+	})
+	t.Run("short-offsets", func(t *testing.T) {
+		g := fresh()
+		g.InOffsets = g.InOffsets[:len(g.InOffsets)-1]
+		if g.Validate() == nil {
+			t.Error("short InOffsets accepted")
+		}
+	})
+	t.Run("weights-length", func(t *testing.T) {
+		g := smallGraph()
+		g.AddRandomWeights(9, 1)
+		g.BuildIn()
+		g.InWeights = g.InWeights[:1]
+		if g.Validate() == nil {
+			t.Error("in-weights length mismatch accepted")
+		}
+	})
+}

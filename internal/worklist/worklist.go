@@ -129,6 +129,43 @@ func NewDense(n int) *Dense {
 	return &Dense{words: make([]atomic.Uint64, (n+63)/64), n: n}
 }
 
+// Full returns a dense worklist with every vertex active (the initial
+// frontier of topology-driven rounds).
+func Full(n int) *Dense {
+	d := NewDense(n)
+	for i := range d.words {
+		d.words[i].Store(^uint64(0))
+	}
+	if rem := n & 63; rem != 0 && len(d.words) > 0 {
+		d.words[len(d.words)-1].Store((uint64(1) << rem) - 1)
+	}
+	return d
+}
+
+// FromVertices returns a dense worklist with exactly vs active (the
+// sparse-to-dense frontier conversion).
+func FromVertices(n int, vs []graph.Node) *Dense {
+	d := NewDense(n)
+	for _, v := range vs {
+		d.Set(v)
+	}
+	return d
+}
+
+// Vertices appends every active vertex in ascending ID order to buf and
+// returns the extended slice (the dense-to-sparse frontier conversion).
+func (d *Dense) Vertices(buf []graph.Node) []graph.Node {
+	for w := range d.words {
+		bits := d.words[w].Load()
+		for bits != 0 {
+			b := bits & (-bits)
+			buf = append(buf, graph.Node(w)<<6+graph.Node(trailingZeros(bits)))
+			bits ^= b
+		}
+	}
+	return buf
+}
+
 // Len returns the vertex capacity |V|.
 func (d *Dense) Len() int { return d.n }
 
@@ -154,6 +191,12 @@ func (d *Dense) Set(v graph.Node) bool {
 // Test reports whether v is active.
 func (d *Dense) Test(v graph.Node) bool {
 	return d.words[v>>6].Load()&(1<<(v&63)) != 0
+}
+
+// Unset deactivates v (used to clear a reused dedup set in O(|cleared|)
+// instead of O(|V|)).
+func (d *Dense) Unset(v graph.Node) {
+	d.words[v>>6].And(^(uint64(1) << (v & 63)))
 }
 
 // Clear deactivates all vertices.

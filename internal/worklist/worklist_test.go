@@ -203,3 +203,63 @@ func TestOBIMEmptyChunkIgnored(t *testing.T) {
 		t.Fatal("empty chunk created work")
 	}
 }
+
+func TestFullActivatesEveryVertex(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		d := Full(n)
+		if d.Count() != n {
+			t.Errorf("Full(%d).Count() = %d", n, d.Count())
+		}
+		for v := 0; v < n; v++ {
+			if !d.Test(graph.Node(v)) {
+				t.Errorf("Full(%d): vertex %d inactive", n, v)
+			}
+		}
+		// No phantom bits beyond n.
+		got := 0
+		d.ForEachInRange(0, graph.Node(n), func(graph.Node) { got++ })
+		if got != n {
+			t.Errorf("Full(%d) iterates %d vertices", n, got)
+		}
+	}
+}
+
+func TestDenseSparseConversionRoundTrip(t *testing.T) {
+	vs := []graph.Node{0, 5, 63, 64, 99}
+	d := FromVertices(100, vs)
+	if d.Count() != len(vs) {
+		t.Fatalf("count = %d", d.Count())
+	}
+	out := d.Vertices(nil)
+	if len(out) != len(vs) {
+		t.Fatalf("vertices = %v", out)
+	}
+	for i := range vs {
+		if out[i] != vs[i] {
+			t.Errorf("out[%d] = %d, want %d (ascending order)", i, out[i], vs[i])
+		}
+	}
+}
+
+func TestVerticesAppendsToBuffer(t *testing.T) {
+	d := FromVertices(64, []graph.Node{7})
+	buf := []graph.Node{1, 2}
+	out := d.Vertices(buf)
+	if len(out) != 3 || out[2] != 7 {
+		t.Errorf("Vertices append = %v", out)
+	}
+}
+
+func TestUnsetClearsOnlyTargetBit(t *testing.T) {
+	d := FromVertices(128, []graph.Node{3, 64, 100})
+	d.Unset(64)
+	if d.Test(64) {
+		t.Error("unset vertex still active")
+	}
+	if !d.Test(3) || !d.Test(100) {
+		t.Error("Unset cleared unrelated bits")
+	}
+	if d.Count() != 2 {
+		t.Errorf("count = %d, want 2", d.Count())
+	}
+}
