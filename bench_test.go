@@ -8,22 +8,46 @@ package pmemgraph
 
 import (
 	"io"
+	"os"
 	"testing"
 
 	"pmemgraph/internal/bench"
 	"pmemgraph/internal/gen"
 )
 
+// benchSink accumulates machine-readable results across every benchmark in
+// the run when BENCH_JSON names an output file; each experiment rewrites
+// the file so a partial run still leaves a valid snapshot. Example:
+//
+//	BENCH_JSON=BENCH_figures.json go test -bench=. -benchtime 1x
+var benchSink *bench.Sink
+
+func init() {
+	if os.Getenv("BENCH_JSON") != "" {
+		benchSink = &bench.Sink{}
+	}
+}
+
 func runExperiment(b *testing.B, name string) {
 	b.Helper()
-	opts := bench.Options{Scale: gen.ScaleSmall, Quick: true, Out: io.Discard}
+	opts := bench.Options{Scale: gen.ScaleSmall, Quick: true, Out: io.Discard, Sink: benchSink}
 	if testing.Verbose() {
 		// go test -bench -v prints the regenerated tables.
 		opts.Out = testWriter{b}
 	}
 	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			// Record each experiment's rows once, not once per b.N
+			// iteration.
+			opts.Sink = nil
+		}
 		if err := bench.Run(name, opts); err != nil {
 			b.Fatalf("%s: %v", name, err)
+		}
+	}
+	if benchSink != nil {
+		if err := benchSink.WriteJSON(os.Getenv("BENCH_JSON")); err != nil {
+			b.Fatalf("writing %s: %v", os.Getenv("BENCH_JSON"), err)
 		}
 	}
 }

@@ -22,6 +22,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all); one of "+strings.Join(bench.Experiments(), ","))
 	scaleFlag := flag.String("scale", "small", "input/machine scale: full or small")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
+	jsonPath := flag.String("json", "BENCH_figures.json", "write machine-readable results (experiment -> simulated + wall time) to this file; empty disables")
 	flag.Parse()
 
 	scale := gen.ScaleSmall
@@ -29,6 +30,9 @@ func main() {
 		scale = gen.ScaleFull
 	}
 	opts := bench.Options{Scale: scale, Quick: *quick, Out: os.Stdout}
+	if *jsonPath != "" {
+		opts.Sink = &bench.Sink{}
+	}
 
 	names := bench.Experiments()
 	if *exp != "" {
@@ -41,5 +45,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if opts.Sink != nil {
+		if err := opts.Sink.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "pmembench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

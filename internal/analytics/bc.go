@@ -42,6 +42,12 @@ func Brandes(r *core.Runtime, cfg engine.Config, src graph.Node) *Result {
 	for !f.Empty() {
 		lvl := uint32(len(levels))
 		f = e.EdgeMap(f, engine.EdgeMapArgs{
+			// The CAS claims each newly reached d exactly once (the
+			// sorted merge erases which thread won). sigma accumulates
+			// once per DAG edge — each edge has one owning thread, the
+			// level test is deterministic (dist[d] only transitions
+			// Infinity -> lvl within the round), and u's sigma is
+			// frozen (u is one level up).
 			Push: func(u, d graph.Node, ei int64) bool {
 				found := dist[d].CompareAndSwap(Infinity, lvl)
 				if dist[d].Load() == lvl {

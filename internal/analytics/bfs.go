@@ -44,6 +44,10 @@ func BFS(r *core.Runtime, cfg engine.Config, src graph.Node) *Result {
 		rounds++
 		level := uint32(rounds)
 		args := engine.EdgeMapArgs{
+			// The CAS has exactly one winner per newly reached d, so
+			// the claimed SET is the same under every interleaving;
+			// which thread claims varies, but the engine's sorted merge
+			// erases attribution.
 			Push: func(u, d graph.Node, ei int64) bool {
 				return dist[d].CompareAndSwap(Infinity, level)
 			},

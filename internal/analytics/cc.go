@@ -14,17 +14,6 @@ import (
 // transpose (in-edges) so labels flow against edge direction too; the
 // pointer-jumping kernel hooks roots and is direction-agnostic.
 
-// newLabelArray initializes labels[v] = v.
-func newLabelArray(r *core.Runtime, e *engine.Engine, name string) ([]atomic.Uint32, *memsim.Array) {
-	labels := make([]atomic.Uint32, r.G.NumNodes())
-	arr := r.NodeArray(name, 4)
-	e.VertexMap(engine.VertexMapArgs{
-		Fn:       func(v graph.Node) { labels[v].Store(uint32(v)) },
-		SeqWrite: []*memsim.Array{arr},
-	})
-	return labels, arr
-}
-
 // CCLabelProp is connected components by label propagation over the
 // operator engine, traversing the graph symmetrically (out- and in-edges)
 // so labels flow against edge direction too. cfg selects the frontier
@@ -76,7 +65,12 @@ func ccSnapshot(r *core.Runtime, e *engine.Engine) *Result {
 		cf := f
 		f = e.EdgeMap(f, engine.EdgeMapArgs{
 			Symmetric: true,
-			// Push: scatter v's snapshot label to its neighbors.
+			// Push: scatter v's snapshot label to its neighbors. The
+			// SET of vertices whose next label drops is the same under
+			// every interleaving (relaxMin is a commutative min over
+			// snapshot labels, and some call returns true for each
+			// dropped vertex); the sorted merge erases which thread's
+			// call it was.
 			Push: func(u, d graph.Node, ei int64) bool {
 				return relaxMin(next, d, cur[u])
 			},
@@ -110,50 +104,90 @@ func ccSnapshot(r *core.Runtime, e *engine.Engine) *Result {
 	}
 }
 
-// ccShortcut is the Galois variant: label propagation with shortcutting, a
-// non-vertex program over (typically sparse) worklists.
+// ccShortcut is the Galois variant: label propagation with shortcutting
+// (Stergiou-style pointer jumping after every propagation round), a
+// non-vertex program over (typically sparse) worklists. Rounds are bulk-
+// synchronous — labels propagate from the round-start snapshot cur into
+// next, and the shortcut jump reads only the frozen next — so the round
+// trajectory is deterministic under real parallelism; the jump still
+// collapses label chains exponentially, keeping the round count far below
+// plain propagation's diameter bound.
 func ccShortcut(r *core.Runtime, e *engine.Engine) *Result {
-	labels, labArr := newLabelArray(r, e, "cc.labels")
+	n := r.G.NumNodes()
+	cur := make([]uint32, n)
+	next := make([]atomic.Uint32, n)
+	labArr := r.NodeArray("cc.labels", 4)
+	nextArr := r.NodeArray("cc.labels.next", 4)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn: func(v graph.Node) {
+			cur[v] = uint32(v)
+			next[v].Store(uint32(v))
+		},
+		SeqWrite: []*memsim.Array{labArr, nextArr},
+	})
 
 	f := e.FullFrontier()
 	rounds := 0
 	for !f.Empty() {
 		rounds++
 		cf := f
-		f = e.EdgeMap(f, engine.EdgeMapArgs{
+		// Claims are suppressed (return false): the VertexFilter below
+		// computes the true next frontier — every vertex changed by
+		// propagation or jump — so claiming here would only build a
+		// frontier that gets discarded.
+		e.EdgeMap(f, engine.EdgeMapArgs{
 			Symmetric: true,
 			Push: func(u, d graph.Node, ei int64) bool {
-				return relaxMin(labels, d, labels[u].Load())
+				if l := cur[u]; l < cur[d] {
+					relaxMin(next, d, l)
+				}
+				return false
 			},
 			Pull: func(v, u graph.Node, ei int64) (bool, bool) {
 				if cf.Has(u) {
-					return relaxMin(labels, v, labels[u].Load()), false
+					relaxMin(next, v, cur[u])
 				}
 				return false, false
 			},
-			PerEdge: []engine.Access{{Arr: labArr, Write: true}},
-			// Pull reads the neighbor's label and relaxes v's in place.
-			PullPerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: labArr, Write: true}},
+			PerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: nextArr, Write: true}},
+			// Pull gathers the neighbor's snapshot label per edge and
+			// relaxes into next.
+			PullPerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: nextArr, Write: true}},
 		})
 		// Shortcut pass (non-vertex operator): the neighborhood is the
-		// label chain, not the graph edges.
-		e.VertexMap(engine.VertexMapArgs{
-			Fn: func(v graph.Node) {
-				l := labels[v].Load()
-				if ll := labels[l].Load(); ll < l {
-					relaxMin(labels, v, ll)
-				}
-			},
-			SeqRead:   []*memsim.Array{labArr},
-			PerVertex: []engine.Access{{Arr: labArr, Write: true}},
+		// label chain, not the graph edges. Jump through the frozen
+		// next labels (which already hold this round's propagation) and
+		// publish into cur. The filter activates every vertex whose
+		// label changed this round — by propagation or by jump (a
+		// superset of what the EdgeMap could have claimed) — keeping
+		// jump-lowered vertices flowing so no stale label can strand
+		// behind an inactive vertex.
+		f = e.VertexFilter(engine.VertexMapArgs{
+			SeqRead:   []*memsim.Array{nextArr},
+			SeqWrite:  []*memsim.Array{labArr},
+			PerVertex: []engine.Access{{Arr: nextArr, Write: false}},
 			Ops:       true,
+		}, func(v graph.Node) bool {
+			l := next[v].Load()
+			if ll := next[l].Load(); ll < l {
+				l = ll
+			}
+			changed := l != cur[v]
+			cur[v] = l
+			return changed
+		})
+		// Resync next with the shortcutted labels for the coming round.
+		e.VertexMap(engine.VertexMapArgs{
+			Fn:       func(v graph.Node) { next[v].Store(cur[v]) },
+			SeqRead:  []*memsim.Array{labArr},
+			SeqWrite: []*memsim.Array{nextArr},
 		})
 	}
 	return &Result{
 		App:       "cc",
 		Algorithm: "labelprop-sc",
 		Rounds:    rounds,
-		Labels:    snapshot(labels),
+		Labels:    append([]uint32(nil), cur...),
 		Trace:     e.Trace(),
 	}
 }
@@ -173,59 +207,84 @@ func CCLabelPropSC(r *core.Runtime) *Result {
 // CCPointerJump is the union-find / pointer-jumping cc used by GAP and
 // GBBS (Shiloach-Vishkin family): hook every edge, then jump pointers to
 // full compression. Topology-driven (no frontier); the hook phase is an
-// edge iteration and the jump phase a VertexMap over label chains.
+// edge iteration and the jump phase a VertexMap over label chains. Both
+// phases read the round-start snapshot cur and min-reduce into next, so
+// the per-round label trajectory (and the hook/jump change counts driving
+// termination) are deterministic under real parallelism.
 func CCPointerJump(r *core.Runtime) *Result {
 	w := startWindow(r.M)
 	e := engine.New(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPush})
-	labels, labArr := newLabelArray(r, e, "cc.parent")
+	n := r.G.NumNodes()
+	cur := make([]uint32, n)
+	next := make([]atomic.Uint32, n)
+	labArr := r.NodeArray("cc.parent", 4)
+	nextArr := r.NodeArray("cc.parent.next", 4)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn: func(v graph.Node) {
+			cur[v] = uint32(v)
+			next[v].Store(uint32(v))
+		},
+		SeqWrite: []*memsim.Array{labArr, nextArr},
+	})
+	// publish snapshots next into cur after a hook or jump pass.
+	publish := func() {
+		e.VertexMap(engine.VertexMapArgs{
+			Fn:       func(v graph.Node) { cur[v] = next[v].Load() },
+			SeqRead:  []*memsim.Array{nextArr},
+			SeqWrite: []*memsim.Array{labArr},
+		})
+	}
 
 	rounds := 0
 	for {
 		rounds++
 		var changed atomic.Int64
-		// Hook: for every edge (u,v), point the larger root at the
-		// smaller label.
+		// Hook: for every edge (u,v), point the larger snapshot root at
+		// the smaller snapshot label. The change count claims against
+		// the snapshot (each edge is visited by exactly one owner), so
+		// it is interleaving-independent.
 		full := e.FullFrontier()
 		e.EdgeMap(full, engine.EdgeMapArgs{
 			Push: func(u, d graph.Node, ei int64) bool {
-				lu := labels[u].Load()
-				ld := labels[d].Load()
+				lu, ld := cur[u], cur[d]
 				switch {
 				case lu < ld:
-					if relaxMin(labels, graph.Node(ld), lu) {
-						changed.Add(1)
-					}
+					relaxMin(next, graph.Node(ld), lu)
+					changed.Add(1)
 				case ld < lu:
-					if relaxMin(labels, graph.Node(lu), ld) {
-						changed.Add(1)
-					}
+					relaxMin(next, graph.Node(lu), ld)
+					changed.Add(1)
 				}
 				return false // hooking relinks roots, not the frontier
 			},
-			PerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: labArr, Write: true}},
+			PerEdge: []engine.Access{{Arr: labArr, Write: false}, {Arr: nextArr, Write: true}},
 		})
+		if changed.Load() == 0 {
+			break
+		}
+		publish()
 		// Jump: compress pointer chains until every label is a root.
 		for {
 			var jumped atomic.Int64
 			e.VertexMap(engine.VertexMapArgs{
 				Fn: func(v graph.Node) {
-					l := labels[v].Load()
-					if ll := labels[l].Load(); ll < l {
-						relaxMin(labels, v, ll)
+					l := cur[v]
+					if ll := cur[l]; ll < l {
+						l = ll
 						jumped.Add(1)
 					}
+					next[v].Store(l)
 				},
 				SeqRead:   []*memsim.Array{labArr},
-				PerVertex: []engine.Access{{Arr: labArr, Write: true}},
+				SeqWrite:  []*memsim.Array{nextArr},
+				PerVertex: []engine.Access{{Arr: labArr, Write: false}},
 				Ops:       true,
 			})
 			if jumped.Load() == 0 {
 				break
 			}
-		}
-		if changed.Load() == 0 {
-			break
+			publish()
 		}
 	}
-	return w.finish(&Result{App: "cc", Algorithm: "pointer-jump", Rounds: rounds, Labels: snapshot(labels)})
+	return w.finish(&Result{App: "cc", Algorithm: "pointer-jump", Rounds: rounds, Labels: append([]uint32(nil), cur...)})
 }

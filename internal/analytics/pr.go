@@ -2,7 +2,6 @@ package analytics
 
 import (
 	"math"
-	"sync/atomic"
 
 	"pmemgraph/internal/core"
 	"pmemgraph/internal/engine"
@@ -54,6 +53,12 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 
 	base := (1 - prDamping) / float64(n)
 	full := e.FullFrontier()
+	// resid shards the per-chunk residual contributions by thread; the
+	// fold below sums them in thread-index order, so the float total (and
+	// with it the tolerance-crossing round) is deterministic — an atomic
+	// accumulator would add in arrival order and make the last round a
+	// race.
+	resid := make([]float64, r.RegionThreads())
 	rounds := 0
 	for rounds < maxRounds {
 		rounds++
@@ -71,8 +76,10 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 			Ops:      true,
 		})
 		// Pull phase: gather in-neighbor contributions. The residual is
-		// reduced per scheduler chunk, publishing one atomic add each.
-		var residual atomicFloat
+		// reduced per scheduler chunk into the owning thread's shard.
+		for i := range resid {
+			resid[i] = 0
+		}
 		e.EdgeMap(full, engine.EdgeMapArgs{
 			Pull: func(v, u graph.Node, ei int64) (bool, bool) {
 				sum[v] += contrib[u]
@@ -82,19 +89,23 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 				next[v] = base + prDamping*sum[v]
 				sum[v] = 0
 			},
-			OnPullChunk: func(lo, hi graph.Node) {
+			OnPullChunk: func(t *memsim.Thread, lo, hi graph.Node) {
 				local := 0.0
 				for v := lo; v < hi; v++ {
 					local += math.Abs(next[v] - rank[v])
 				}
-				residual.add(local)
+				resid[t.ID] += local
 			},
 			PerEdge:      []engine.Access{{Arr: contribArr, Write: false}},
 			PullSeqWrite: []*memsim.Array{nextArr},
 		})
 		rank, next = next, rank
 		rankArr, nextArr = nextArr, rankArr
-		if residual.load() < tol {
+		residual := 0.0
+		for _, x := range resid {
+			residual += x
+		}
+		if residual < tol {
 			break
 		}
 	}
@@ -107,17 +118,3 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 	})
 }
 
-// atomicFloat accumulates float64 values concurrently via CAS on bits.
-type atomicFloat struct{ bits atomic.Uint64 }
-
-func (f *atomicFloat) add(x float64) {
-	for {
-		old := f.bits.Load()
-		nv := math.Float64frombits(old) + x
-		if f.bits.CompareAndSwap(old, math.Float64bits(nv)) {
-			return
-		}
-	}
-}
-
-func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }

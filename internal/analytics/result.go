@@ -7,14 +7,14 @@
 //	bfs:  dense-worklist BSP, direction-optimizing, sparse-worklist push
 //	cc:   dense label propagation (vertex program), label propagation with
 //	      shortcutting (non-vertex, Galois), union-find pointer jumping
-//	sssp: data-driven Bellman-Ford with dense worklists, asynchronous
-//	      delta-stepping over sparse OBIM buckets
+//	sssp: data-driven Bellman-Ford with dense worklists, delta-stepping
+//	      over sparse priority buckets
 //
 // The round-based kernels (bfs, cc label propagation, bc, kcore, Bellman-
 // Ford, pr) are all points in the configuration space of one operator
 // engine (internal/engine): the §5 variants above are engine.Configs, not
-// separate implementations. Only the asynchronous kernels (delta-stepping,
-// which schedules over OBIM priorities) and tc (a one-shot DAG
+// separate implementations. Only delta-stepping (which schedules over
+// priority buckets, outside graph-wide rounds) and tc (a one-shot DAG
 // intersection) run outside it.
 //
 // Every kernel computes its answer natively (validated against reference

@@ -1,14 +1,12 @@
 package analytics
 
 import (
-	"runtime"
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
 	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
-	"pmemgraph/internal/worklist"
 )
 
 // relaxMin lowers dist[v] to d with a CAS loop, reporting whether it
@@ -25,13 +23,26 @@ func relaxMin(dist []atomic.Uint32, v graph.Node, d uint32) bool {
 	}
 }
 
-// SSSPDeltaStep is asynchronous delta-stepping over sparse OBIM buckets:
-// the Galois variant the paper reports as the best sssp algorithm on every
-// input (Figure 7c). Threads drain the lowest-priority bucket concurrently,
-// pushing relaxed vertices into later (or the same) buckets; there are no
-// graph-wide rounds, so it runs outside the bulk-synchronous operator
-// engine (sparse worklists plus non-vertex scheduling are exactly the
-// Galois capabilities §5.1 credits).
+// relaxIntent is one recorded relaxation (lower d's distance to nd),
+// buffered per thread during a delta-stepping iteration and applied
+// sequentially at the barrier.
+type relaxIntent struct {
+	d  graph.Node
+	nd uint32
+}
+
+// SSSPDeltaStep is delta-stepping over priority buckets: the Galois variant
+// the paper reports as the best sssp algorithm on every input (Figure 7c).
+// Buckets are processed in ascending priority; each bucket drains in
+// bulk-synchronous inner iterations in which threads scan their statically
+// owned share of the bucket against the frozen distance array and record
+// relaxations as per-thread intents. The machine applies the intents at the
+// barrier in thread-index order — distances min-reduce, improved vertices
+// enqueue into their new buckets — so the bucket trajectory, every charge,
+// and the final distances are byte-identical under any interleaving, while
+// the scan (all the simulated work) still runs on all cores. It schedules
+// over priorities and sparse lists, outside the bulk-synchronous operator
+// engine (exactly the Galois capabilities §5.1 credits).
 func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 	if r.Weights == nil {
 		panic("analytics: SSSPDeltaStep requires a weighted runtime")
@@ -43,37 +54,56 @@ func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 	dist, distArr := newDistArray(r, "sssp.dist")
 	wlArr := r.ScratchArray("sssp.wl", int64(r.G.NumNodes()), 4)
 
-	obim := worklist.NewOBIM()
+	// chargeWl charges a k-element sequential worklist transfer. Bucket
+	// lists can exceed |V| (a vertex re-enqueues once per improvement), so
+	// the charge wraps around the scratch array rather than indexing past
+	// it.
+	n := int64(r.G.NumNodes())
+	chargeWl := func(t *memsim.Thread, k int64, write bool) {
+		for k > 0 {
+			c := k
+			if c > n {
+				c = n
+			}
+			if write {
+				wlArr.WriteRange(t, 0, c)
+			} else {
+				wlArr.ReadRange(t, 0, c)
+			}
+			k -= c
+		}
+	}
+
+	buckets := map[int][]graph.Node{0: {src}}
 	dist[src].Store(0)
-	obim.Push(0, []graph.Node{src})
+	intents := make([][]relaxIntent, r.RegionThreads())
 	epochs := 0
 	for {
-		p := obim.CurrentPriority()
+		// Lowest non-empty priority.
+		p := -1
+		for pr, b := range buckets {
+			if len(b) == 0 {
+				continue
+			}
+			if p < 0 || pr < p {
+				p = pr
+			}
+		}
 		if p < 0 {
 			break
 		}
 		epochs++
-		bucket := obim.Bucket(p)
-		var working atomic.Int64
-		r.Parallel(func(t *memsim.Thread) {
-			pushBufs := make(map[int][]graph.Node)
-			for {
-				chunk := bucket.PopChunk()
-				if chunk == nil {
-					// Same-priority pushes may still be in
-					// flight from other threads: spin until the
-					// bucket is drained for real, so work never
-					// serializes onto one thread.
-					if working.Load() == 0 {
-						break
-					}
-					runtime.Gosched()
-					continue
-				}
-				working.Add(1)
-				wlArr.ReadRange(t, 0, int64(len(chunk)))
-				for _, v := range chunk {
-					dv := dist[v].Load()
+		// Drain bucket p: same-priority relaxations re-open it, so the
+		// inner loop runs until no intent lands back in p.
+		for len(buckets[p]) > 0 {
+			items := buckets[p]
+			buckets[p] = nil
+			r.ParallelItems(int64(len(items)), func(t *memsim.Thread, lo, hi int64) {
+				chargeWl(t, hi-lo, false)
+				buf := intents[t.ID]
+				var pushed int64
+				for _, v := range items[lo:hi] {
+					dv := dist[v].Load() // frozen during the region
 					if int(dv/delta) < p {
 						continue // stale entry, already settled
 					}
@@ -86,26 +116,28 @@ func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 						if nd < dv { // overflow guard
 							continue
 						}
-						if relaxMin(dist, d, nd) {
-							pr := int(nd / delta)
-							pushBufs[pr] = append(pushBufs[pr], d)
-							if len(pushBufs[pr]) >= 64 {
-								// Publish small chunks promptly so
-								// idle threads can steal them.
-								obim.Push(pr, pushBufs[pr])
-								wlArr.WriteRange(t, 0, int64(len(pushBufs[pr])))
-								pushBufs[pr] = nil
-							}
+						if nd < dist[d].Load() {
+							buf = append(buf, relaxIntent{d: d, nd: nd})
+							pushed++
 						}
 					}
 				}
-				working.Add(-1)
+				intents[t.ID] = buf
+				chargeWl(t, pushed, true)
+			})
+			// Barrier: apply intents in thread-index order.
+			for i := range intents {
+				for _, in := range intents[i] {
+					if in.nd < dist[in.d].Load() {
+						dist[in.d].Store(in.nd)
+						pr := int(in.nd / delta)
+						buckets[pr] = append(buckets[pr], in.d)
+					}
+				}
+				intents[i] = intents[i][:0]
 			}
-			for pr, buf := range pushBufs {
-				obim.Push(pr, buf)
-				wlArr.WriteRange(t, 0, int64(len(buf)))
-			}
-		})
+		}
+		delete(buckets, p)
 	}
 	return w.finish(&Result{App: "sssp", Algorithm: "delta-step", Rounds: epochs, Dist: snapshot(dist)})
 }
@@ -144,6 +176,10 @@ func SSSPBellmanFord(r *core.Runtime, cfg engine.Config, src graph.Node) *Result
 		rounds++
 		args := engine.EdgeMapArgs{
 			Weighted: true,
+			// relaxMin claims the deterministic SET of vertices whose
+			// tentative distance drops this round (inputs come from the
+			// frozen cur snapshot; the min is commutative; the sorted
+			// merge erases claim attribution).
 			Push: func(u, d graph.Node, ei int64) bool {
 				du := cur[u]
 				if du == Infinity {

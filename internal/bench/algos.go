@@ -76,6 +76,7 @@ func algoStudy(opt Options, machine memsim.MachineConfig, threads int) error {
 		for _, run := range runs {
 			res := run.fn()
 			fmt.Fprintf(w, "%s\t%s\t%s\t%.4f\t%d\n", name, run.app, res.Algorithm, res.Seconds, res.Rounds)
+			opt.record(Record{Graph: name, App: run.app, Algorithm: res.Algorithm, Threads: threads, SimSeconds: res.Seconds})
 		}
 	}
 	fmt.Fprintln(w, "(paper: dense/dir-opt wins on rmat32; sparse-wl, labelprop-sc, delta-step win on web crawls)")

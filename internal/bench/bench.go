@@ -4,11 +4,14 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"text/tabwriter"
+	"time"
 
 	"pmemgraph/internal/gen"
 	"pmemgraph/internal/graph"
@@ -24,6 +27,66 @@ type Options struct {
 	Quick bool
 	// Out receives the formatted experiment output.
 	Out io.Writer
+	// Sink, when non-nil, collects machine-readable Records alongside the
+	// table output: one wall-time record per experiment from Run, plus one
+	// simulated-time record per kernel execution from the figure runners.
+	Sink *Sink
+
+	// current is the experiment name Run is executing, stamped onto
+	// records emitted by runners.
+	current string
+}
+
+// record forwards a row to the sink (if any), stamping the experiment name.
+func (o Options) record(r Record) {
+	if o.Sink == nil {
+		return
+	}
+	r.Experiment = o.current
+	o.Sink.Add(r)
+}
+
+// Record is one machine-readable harness result: an experiment's wall time,
+// or one kernel execution's simulated time within a figure.
+type Record struct {
+	Experiment  string  `json:"experiment"`
+	Graph       string  `json:"graph,omitempty"`
+	App         string  `json:"app,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Framework   string  `json:"framework,omitempty"`
+	Threads     int     `json:"threads,omitempty"`
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// Sink is a concurrency-safe Record collector backing BENCH_figures.json.
+type Sink struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends one record.
+func (s *Sink) Add(r Record) {
+	s.mu.Lock()
+	s.records = append(s.records, r)
+	s.mu.Unlock()
+}
+
+// Records returns a copy of everything collected so far.
+func (s *Sink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// WriteJSON writes the collected records to path as an indented JSON array
+// (the BENCH_figures.json format tracking the perf trajectory per PR).
+func (s *Sink) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s.Records(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshaling records: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Runner executes one experiment.
@@ -81,8 +144,14 @@ func Run(name string, opt Options) error {
 	if opt.Out == nil {
 		opt.Out = io.Discard
 	}
+	opt.current = name
 	fmt.Fprintf(opt.Out, "=== %s ===\n", entry.title)
-	return entry.run(opt)
+	start := time.Now()
+	err := entry.run(opt)
+	if err == nil {
+		opt.record(Record{WallSeconds: time.Since(start).Seconds()})
+	}
+	return err
 }
 
 // Title returns the human title of an experiment.

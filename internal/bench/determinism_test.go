@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"pmemgraph/internal/gen"
+)
+
+// The determinism contract of the parallel simulator: simulated times,
+// counters and all table output are byte-identical at GOMAXPROCS=1 and
+// GOMAXPROCS=NumCPU. These tests run the fig7 + fig9 harness under both
+// settings and compare the raw output.
+
+// runFigureHarness regenerates fig7 and fig9 (Quick, ScaleSmall) and
+// returns the concatenated table output.
+func runFigureHarness(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, exp := range []string{"fig7", "fig9"} {
+		if err := Run(exp, Options{Scale: gen.ScaleSmall, Quick: true, Out: &buf}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	return buf.String()
+}
+
+func TestFigureHarnessDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig7+fig9 harness four times")
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	// Warm-up run: harness graphs are cached per process and gain weights
+	// and transposes on first use, so the comparison runs all start from
+	// the same (settled) graph state — exactly like repeated pmembench
+	// invocations.
+	runtime.GOMAXPROCS(1)
+	runFigureHarness(t)
+
+	seq1 := runFigureHarness(t)
+	seq2 := runFigureHarness(t)
+	if seq1 != seq2 {
+		t.Fatalf("fig7+fig9 output differs between two GOMAXPROCS=1 runs:\n--- run1 ---\n%s\n--- run2 ---\n%s", seq1, seq2)
+	}
+
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	par := runFigureHarness(t)
+	if seq1 != par {
+		t.Fatalf("fig7+fig9 output differs between GOMAXPROCS=1 and GOMAXPROCS=%d:\n--- sequential ---\n%s\n--- parallel ---\n%s", runtime.NumCPU(), seq1, par)
+	}
+}
+
+// TestParallelWallClockSpeedup encodes the perf acceptance bar for the
+// goroutine-backed simulator: with >= 4 cores, the fig7 harness must run at
+// least 2x faster in wall-clock at GOMAXPROCS=NumCPU than at GOMAXPROCS=1
+// (with byte-identical output, asserted above). Skipped on smaller
+// machines, where there is no parallel hardware to win on.
+func TestParallelWallClockSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig7 harness three times")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to measure parallel speedup, have %d", runtime.NumCPU())
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	run := func() time.Duration {
+		start := time.Now()
+		if err := Run("fig7", Options{Scale: gen.ScaleSmall, Quick: true}); err != nil {
+			t.Fatalf("fig7: %v", err)
+		}
+		return time.Since(start)
+	}
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	run() // warm the input cache outside either measurement
+	par := run()
+	runtime.GOMAXPROCS(1)
+	seq := run()
+
+	if seq < 2*par {
+		t.Errorf("fig7 wall-clock: sequential %v, parallel %v — want >= 2x speedup at %d CPUs",
+			seq, par, runtime.NumCPU())
+	}
+}

@@ -42,6 +42,7 @@ func Figure9(opt Options) error {
 					if err == nil {
 						times[p.Name] = res.Seconds
 						cell = fmt.Sprintf("%.4f", res.Seconds)
+						opt.record(Record{Graph: gname, App: app, Algorithm: res.Algorithm, Framework: p.Name, Threads: 96, SimSeconds: res.Seconds})
 					} else {
 						cell = "err"
 					}

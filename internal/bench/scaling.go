@@ -36,6 +36,8 @@ func Figure10(opt Options) error {
 				}
 				fmt.Fprintf(w, "%s\t%s\t%d\t%.4f\t%.4f\t%.2fx\n",
 					gname, app, threads, ores.Seconds, dres.Seconds, ores.Seconds/dres.Seconds)
+				opt.record(Record{Graph: gname, App: app, Algorithm: "galois/optane", Threads: threads, SimSeconds: ores.Seconds})
+				opt.record(Record{Graph: gname, App: app, Algorithm: "galois/dram", Threads: threads, SimSeconds: dres.Seconds})
 			}
 		}
 	}

@@ -17,7 +17,6 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
@@ -46,6 +45,10 @@ type Options struct {
 	BothDirections bool
 	// Weighted allocates the edge-weight array.
 	Weighted bool
+	// AppDirect places every allocation on the Optane media of an
+	// app-direct machine: the uncached-Optane baseline the memory-mode
+	// DRAM cache is compared against.
+	AppDirect bool
 }
 
 // GaloisDefaults returns the configuration the paper recommends: explicit
@@ -92,6 +95,7 @@ func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
 			BlockThreads: opts.Threads,
 			PageSize:     opts.PageSize,
 			THP:          opts.THP,
+			AppDirect:    opts.AppDirect,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: allocating %s: %w", name, err)
@@ -167,6 +171,7 @@ func (r *Runtime) NodeArray(name string, elem int64) *memsim.Array {
 		BlockThreads: r.opts.Threads,
 		PageSize:     r.opts.PageSize,
 		THP:          r.opts.THP,
+		AppDirect:    r.opts.AppDirect,
 	})
 	r.node = append(r.node, a)
 	return a
@@ -180,36 +185,49 @@ func (r *Runtime) ScratchArray(name string, length, elem int64) *memsim.Array {
 		BlockThreads: r.opts.Threads,
 		PageSize:     r.opts.PageSize,
 		THP:          r.opts.THP,
+		AppDirect:    r.opts.AppDirect,
 	})
 	r.node = append(r.node, a)
 	return a
 }
 
 // ParallelVerts distributes the vertex range across the runtime's threads
-// with dynamic chunked scheduling (Galois-style work distribution): threads
-// grab fixed-size chunks from a shared cursor, so degree-skewed inputs
-// (web-crawl hubs) do not serialize on one unlucky thread.
+// in statically owned chunks (see ParallelItems), so degree-skewed inputs
+// (web-crawl hubs) spread hub chunks across all threads.
 func (r *Runtime) ParallelVerts(fn func(t *memsim.Thread, lo, hi graph.Node)) memsim.RegionStats {
 	return r.ParallelItems(int64(r.G.NumNodes()), func(t *memsim.Thread, lo, hi int64) {
 		fn(t, graph.Node(lo), graph.Node(hi))
 	})
 }
 
-// ParallelItems distributes [0, n) across threads in dynamically scheduled
-// chunks.
+// ParallelItems distributes [0, n) across threads in fixed-size chunks with
+// deterministic static ownership: chunk i belongs to thread i mod T, and
+// each thread walks its chunks in ascending order. Unlike a dynamic shared
+// cursor, charge attribution (which thread's simulated clock and counters a
+// chunk lands on) is a pure function of (n, T) — never of goroutine
+// interleaving — which is what keeps simulated results byte-identical at
+// any GOMAXPROCS. Strided ownership still spreads degree-skewed chunk costs
+// across threads the way Galois' dynamic scheduler does on average.
 func (r *Runtime) ParallelItems(n int64, fn func(t *memsim.Thread, lo, hi int64)) memsim.RegionStats {
 	threads := clampThreads(r)
 	chunk := n / int64(threads*8)
 	if chunk < 64 {
-		chunk = 64
+		// Small work lists still spread across every thread (one chunk
+		// per thread) rather than serializing onto chunk 0: the
+		// dynamic scheduler this replaces would have balanced a tiny
+		// high-diameter frontier too.
+		chunk = (n + int64(threads) - 1) / int64(threads)
+		if chunk > 64 {
+			chunk = 64
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
 	}
-	var cursor atomic.Int64
+	nChunks := (n + chunk - 1) / chunk
 	return r.M.Parallel(threads, func(t *memsim.Thread) {
-		for {
-			lo := cursor.Add(chunk) - chunk
-			if lo >= n {
-				return
-			}
+		for c := int64(t.ID); c < nChunks; c += int64(threads) {
+			lo := c * chunk
 			hi := lo + chunk
 			if hi > n {
 				hi = n
@@ -224,6 +242,11 @@ func (r *Runtime) ParallelItems(n int64, fn func(t *memsim.Thread, lo, hi int64)
 func (r *Runtime) Parallel(fn func(t *memsim.Thread)) memsim.RegionStats {
 	return r.M.Parallel(clampThreads(r), fn)
 }
+
+// RegionThreads returns the thread count parallel regions actually run with
+// (the configured count clamped to the machine), which callers use to size
+// per-thread shards indexed by Thread.ID.
+func (r *Runtime) RegionThreads() int { return clampThreads(r) }
 
 func clampThreads(r *Runtime) int {
 	threads := r.opts.Threads

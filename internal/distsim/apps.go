@@ -19,7 +19,10 @@ import (
 
 // hostRound runs one BSP round: each host processes its vertex shard on
 // its own machine; fn returns the host's cross-partition update count.
-// Returned slices feed Engine.endRound.
+// Returned slices feed Engine.endRound. Chunks are statically owned
+// (chunk i -> thread i mod T, mirroring core.Runtime.ParallelItems) so the
+// per-host compute time is a pure function of the shard, not of goroutine
+// interleaving.
 func (e *Engine) hostRound(fn func(h *host, t *memsim.Thread, lo, hi graph.Node) int64) {
 	compute := make([]float64, len(e.hosts))
 	send := make([]int64, len(e.hosts))
@@ -27,24 +30,34 @@ func (e *Engine) hostRound(fn func(h *host, t *memsim.Thread, lo, hi graph.Node)
 		lo, hi := e.hostLo[i], e.hostHi[i]
 		var dirty atomic.Int64
 		span := int64(hi - lo)
-		threads := e.cfg.ThreadsPerHost
-		chunk := span / int64(stats64(threads)*8)
-		if chunk < 64 {
-			chunk = 64
+		// Clamp exactly like Machine.Parallel does, so the stride never
+		// assigns chunks to thread IDs the machine won't spawn.
+		threads := stats64(e.cfg.ThreadsPerHost)
+		if max := h.m.Config().MaxThreads(); threads > max {
+			threads = max
 		}
-		var cursor atomic.Int64
+		chunk := span / int64(threads*8)
+		if chunk < 64 {
+			chunk = (span + int64(threads) - 1) / int64(threads)
+			if chunk > 64 {
+				chunk = 64
+			}
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+		nChunks := (span + chunk - 1) / chunk
 		stats := h.m.Parallel(threads, func(t *memsim.Thread) {
-			for {
-				clo := cursor.Add(chunk) - chunk
-				if clo >= span {
-					return
-				}
+			local := int64(0)
+			for c := int64(t.ID); c < nChunks; c += int64(threads) {
+				clo := c * chunk
 				chi := clo + chunk
 				if chi > span {
 					chi = span
 				}
-				dirty.Add(fn(h, t, lo+graph.Node(clo), lo+graph.Node(chi)))
+				local += fn(h, t, lo+graph.Node(clo), lo+graph.Node(chi))
 			}
+			dirty.Add(local)
 		})
 		compute[i] = stats.ElapsedNs
 		send[i] = dirty.Load() * 8
@@ -134,6 +147,11 @@ func (e *Engine) SSSP(src graph.Node) *analytics.Result {
 	cur.set(src)
 	for cur.count.Load() > 0 {
 		next := newDenseSet(n)
+		// Relaxations are judged against the round-start snapshot (BSP
+		// semantics), so the activated set and cross-partition traffic
+		// never depend on intra-round timing; relaxMinU32 keeps the
+		// final distances a commutative min.
+		snap := snapshotU32(dist)
 		e.hostRound(func(h *host, t *memsim.Thread, lo, hi graph.Node) int64 {
 			h.shardScan(t, lo, hi, e.hostLo[h.id])
 			cross := int64(0)
@@ -142,7 +160,7 @@ func (e *Engine) SSSP(src graph.Node) *analytics.Result {
 					continue
 				}
 				h.edgeScan(t, g, e.hostLo[h.id], v, true)
-				dv := dist[v].Load()
+				dv := snap[v]
 				nbrs := g.OutNeighbors(v)
 				ws := g.OutWeightsOf(v)
 				h.labels.RandomN(t, int64(len(nbrs)), true)
@@ -152,7 +170,8 @@ func (e *Engine) SSSP(src graph.Node) *analytics.Result {
 					if nd < dv {
 						continue
 					}
-					if relaxMinU32(dist, d, nd) {
+					if nd < snap[d] {
+						relaxMinU32(dist, d, nd)
 						next.set(d)
 						if e.Owner(d) != h.id {
 							cross++
@@ -184,11 +203,15 @@ func (e *Engine) CC() *analytics.Result {
 	}
 	for cur.count.Load() > 0 {
 		next := newDenseSet(n)
+		// Snapshot semantics, as in SSSP: claims judge the round-start
+		// labels so activation and traffic are interleaving-independent.
+		snap := snapshotU32(labels)
 		e.hostRound(func(h *host, t *memsim.Thread, lo, hi graph.Node) int64 {
 			h.shardScan(t, lo, hi, e.hostLo[h.id])
 			cross := int64(0)
 			push := func(v graph.Node, lv uint32, d graph.Node) {
-				if relaxMinU32(labels, d, lv) {
+				if lv < snap[d] {
+					relaxMinU32(labels, d, lv)
 					next.set(d)
 					if e.Owner(d) != h.id {
 						cross++
@@ -199,7 +222,7 @@ func (e *Engine) CC() *analytics.Result {
 				if !cur.test(v) {
 					continue
 				}
-				lv := labels[v].Load()
+				lv := snap[v]
 				h.edgeScan(t, g, e.hostLo[h.id], v, false)
 				outs := g.OutNeighbors(v)
 				ins := g.InNeighbors(v)
@@ -230,26 +253,32 @@ func (e *Engine) PR(tol float64, maxRounds int) *analytics.Result {
 	n := g.NumNodes()
 	rank := make([]float64, n)
 	next := make([]float64, n)
-	contrib := make([]float64, n)
+	contrib := make([]float64, n)     // round-start contributions (frozen)
+	contribNext := make([]float64, n) // published for the next round
 	for i := range rank {
 		rank[i] = 1 / float64(n)
+		if d := g.OutDegree(graph.Node(i)); d > 0 {
+			contrib[i] = rank[i] / float64(d)
+		}
 	}
 	base := (1 - 0.85) / float64(n)
+	// Per-thread residual shards, folded in thread-index order after each
+	// round so the float total is deterministic (threads are per host and
+	// hosts run in sequence, so each slot accumulates deterministically).
+	resid := make([]float64, stats64(e.cfg.ThreadsPerHost))
 	rounds := 0
 	for rounds < maxRounds {
 		rounds++
-		var residual atomicF64
+		for i := range resid {
+			resid[i] = 0
+		}
 		e.hostRound(func(h *host, t *memsim.Thread, lo, hi graph.Node) int64 {
 			h.shardScan(t, lo, hi, e.hostLo[h.id])
 			h.labels.ReadRange(t, int64(lo), int64(hi))
 			t.Op(int(hi - lo))
-			for v := lo; v < hi; v++ {
-				if d := g.OutDegree(v); d > 0 {
-					contrib[v] = rank[v] / float64(d)
-				} else {
-					contrib[v] = 0
-				}
-			}
+			// Gather from the frozen round-start contributions, then
+			// publish this chunk's fresh contributions for the NEXT
+			// round — no thread ever observes a half-updated mix.
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				ins := g.InNeighbors(v)
@@ -262,13 +291,23 @@ func (e *Engine) PR(tol float64, maxRounds int) *analytics.Result {
 				nv := base + 0.85*sum
 				local += math.Abs(nv - rank[v])
 				next[v] = nv
+				if d := g.OutDegree(v); d > 0 {
+					contribNext[v] = nv / float64(d)
+				} else {
+					contribNext[v] = 0
+				}
 			}
-			residual.add(local)
+			resid[t.ID] += local
 			// Dense app: every master's new value is broadcast.
 			return int64(hi - lo)
 		})
 		rank, next = next, rank
-		if residual.load() < tol {
+		contrib, contribNext = contribNext, contrib
+		residual := 0.0
+		for _, x := range resid {
+			residual += x
+		}
+		if residual < tol {
 			break
 		}
 	}
@@ -286,14 +325,20 @@ func (e *Engine) KCore(k int64) *analytics.Result {
 		deg[v].Store(g.OutDegree(graph.Node(v)) + g.InDegree(graph.Node(v)))
 	}
 	removed := make([]atomic.Bool, n)
+	snap := make([]int64, n)
 	for {
+		// Peel against the round-start degree snapshot: whether v peels
+		// this round never depends on sibling decrements landing early.
+		for v := range snap {
+			snap[v] = deg[v].Load()
+		}
 		var peeled atomic.Int64
 		e.hostRound(func(h *host, t *memsim.Thread, lo, hi graph.Node) int64 {
 			h.shardScan(t, lo, hi, e.hostLo[h.id])
 			h.labels.ReadRange(t, int64(lo), int64(hi))
 			cross := int64(0)
 			for v := lo; v < hi; v++ {
-				if removed[v].Load() || deg[v].Load() >= k {
+				if removed[v].Load() || snap[v] >= k {
 					continue
 				}
 				if removed[v].Swap(true) {
@@ -473,16 +518,3 @@ func snapshotU32(a []atomic.Uint32) []uint32 {
 	return out
 }
 
-type atomicF64 struct{ bits atomic.Uint64 }
-
-func (f *atomicF64) add(x float64) {
-	for {
-		old := f.bits.Load()
-		nv := math.Float64frombits(old) + x
-		if f.bits.CompareAndSwap(old, math.Float64bits(nv)) {
-			return
-		}
-	}
-}
-
-func (f *atomicF64) load() float64 { return math.Float64frombits(f.bits.Load()) }

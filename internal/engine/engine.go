@@ -22,9 +22,21 @@
 // the linear memsim model but measurably faster to simulate. It also
 // aggregates per-round RegionStats into a trace kernels surface through
 // their Result.
+//
+// Push rounds are two-phase so results are deterministic under real
+// parallelism (see DESIGN.md "Concurrency model"): during the parallel
+// scan, threads record activation claims into private per-thread buffers
+// — the scan region's charges depend only on the frontier, never on claim
+// outcomes — then the engine merges the buffers at the barrier into a
+// deduplicated, ID-sorted next frontier and charges its writes in a
+// follow-up parallel region. Operators must make claims that are
+// deterministic as a set (e.g. judged against round-start snapshots, or
+// unique-claimant transitions of commutative updates); the merge then
+// erases any nondeterminism in claim attribution or ordering.
 package engine
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"pmemgraph/internal/core"
@@ -106,11 +118,16 @@ type Engine struct {
 	nextBits *memsim.Array // next-frontier activation scatter target
 	wl       *memsim.Array // sparse worklist storage
 
-	// dedup is the reusable activation set of sparse push rounds. It is
-	// cleared in O(|activated|) after each round (Unset per activated
-	// vertex) so thousands of tiny-frontier rounds on a high-diameter
-	// graph never pay an O(|V|) zeroing.
+	// dedup is the reusable activation set the sequential claim merge
+	// deduplicates against. It is cleared in O(|activated|) after each
+	// round (Unset per activated vertex) so thousands of tiny-frontier
+	// rounds on a high-diameter graph never pay an O(|V|) zeroing.
 	dedup *worklist.Dense
+
+	// claims holds one activation buffer per virtual thread, indexed by
+	// Thread.ID. Threads append claims race-free during a push round; the
+	// engine drains the buffers (retaining capacity) at the merge.
+	claims [][]graph.Node
 
 	rounds int
 	trace  []RoundStat
@@ -145,6 +162,7 @@ func New(r *core.Runtime, cfg Config) *Engine {
 		bits:     r.ScratchArray("engine.frontier.bits", words, 8),
 		nextBits: r.ScratchArray("engine.next.bits", words, 8),
 		wl:       r.ScratchArray("engine.wl", n, 4),
+		claims:   make([][]graph.Node, r.RegionThreads()),
 	}
 }
 
@@ -225,7 +243,15 @@ type EdgeMapArgs struct {
 	// Push is invoked for every edge (u, d) leaving an active vertex u
 	// when traversing in the push direction; ei indexes the edge arrays
 	// of the direction being scanned. It returns whether d's value
-	// improved (the engine activates d in the next frontier, deduped).
+	// improved (the engine activates d in the next frontier, deduped and
+	// ID-sorted at the round barrier). For deterministic simulation the
+	// SET of activated vertices must not depend on thread interleaving —
+	// which thread claims, how often, and in what order all wash out in
+	// the merge. CAS transitions (one winner per vertex) and min-CAS
+	// improvements over round-start snapshots both qualify; reading
+	// mutable shared state into the claim decision does not. Shared
+	// writes inside Push must themselves be commutative and idempotent
+	// (CAS min-reductions, atomic adds).
 	Push func(u, d graph.Node, ei int64) bool
 	// Pull is invoked for every in-edge (u, v) of a candidate vertex v
 	// when traversing in the pull direction. It returns whether v became
@@ -240,10 +266,12 @@ type EdgeMapArgs struct {
 	// for per-vertex reductions such as pagerank's sum finalization.
 	OnPullDone func(v graph.Node)
 	// OnPullChunk runs once per scheduler chunk after its vertices are
-	// processed (same thread), for contention-free chunk reductions
-	// (e.g. pagerank's residual: accumulate locally over [lo, hi), then
-	// publish once).
-	OnPullChunk func(lo, hi graph.Node)
+	// processed, on the owning thread, for contention-free chunk
+	// reductions: accumulate locally over [lo, hi), then publish into a
+	// t.ID-indexed shard so the kernel can fold the shards in thread
+	// order after the round (order-sensitive reductions such as
+	// pagerank's float residual stay deterministic that way).
+	OnPullChunk func(t *memsim.Thread, lo, hi graph.Node)
 	// Symmetric also traverses the transpose in push mode and the
 	// out-direction in pull mode: undirected propagation (cc, kcore).
 	Symmetric bool
@@ -295,68 +323,99 @@ func (e *Engine) EdgeMap(f *Frontier, args EdgeMapArgs) *Frontier {
 		rs.Dense = true
 		next = e.pullRound(f, &args, &rs)
 		addStats(&rs.Stats, conv)
+		// Representation maintenance: pull rounds produce a dense
+		// frontier natively; convert if policy wants sparse.
+		if next.count > 0 && e.wantDense(next.count, next.outEdges) != next.isDense {
+			e.convert(next, &rs)
+		}
 	case f.isDense:
 		rs.Dense = true
 		next = e.pushDense(f, &args, &rs)
 	default:
 		next = e.pushSparse(f, &args, &rs)
 	}
-
-	// Representation maintenance for the next round.
-	if next.count > 0 && e.wantDense(next.count, next.outEdges) != next.isDense {
-		e.convert(next, &rs)
-	}
 	e.trace = append(e.trace, rs)
+	return next
+}
+
+// mergeClaims is the sequential barrier phase of a push round: it drains
+// the per-thread claim buffers in thread-index order, deduplicates against
+// the reusable dedup set, and sorts the result by vertex ID. Sorting makes
+// the next frontier independent of claim attribution, so operators whose
+// claims race to a unique winner (kcore's degree crossings) are as
+// deterministic as snapshot-judged ones. The dedup set is cleared in
+// O(|activated|).
+func (e *Engine) mergeClaims(n int) *Frontier {
+	if e.dedup == nil {
+		e.dedup = worklist.NewDense(n)
+	}
+	var vs []graph.Node
+	for i := range e.claims {
+		for _, d := range e.claims[i] {
+			if e.dedup.Set(d) {
+				vs = append(vs, d)
+			}
+		}
+		e.claims[i] = e.claims[i][:0]
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	g := e.R.G
+	var outEdges int64
+	for _, v := range vs {
+		e.dedup.Unset(v)
+		outEdges += g.OutDegree(v)
+	}
+	return &Frontier{n: n, sparse: vs, count: int64(len(vs)), outEdges: outEdges}
+}
+
+// finishPush converts the merged claim frontier to the representation the
+// policy prescribes and charges the frontier writes in a follow-up parallel
+// region: worklist appends for a sparse next frontier, bit-vector scatters
+// for a dense one (the charges the scan region no longer issues, since
+// activation counts there would depend on claim attribution).
+func (e *Engine) finishPush(next *Frontier, rs *RoundStat) *Frontier {
+	if next.count == 0 {
+		return next
+	}
+	if e.wantDense(next.count, next.outEdges) {
+		next.dense = worklist.FromVertices(next.n, next.sparse)
+		next.isDense = true
+		next.sparse = nil
+		addStats(&rs.Stats, e.R.ParallelItems(next.count, func(t *memsim.Thread, lo, hi int64) {
+			e.nextBits.RandomN(t, hi-lo, true)
+		}))
+	} else {
+		addStats(&rs.Stats, e.R.ParallelItems(next.count, func(t *memsim.Thread, lo, hi int64) {
+			e.wl.WriteRange(t, lo, hi)
+		}))
+	}
 	return next
 }
 
 // pushSparse scatters from an explicit vertex list: the Galois sparse
 // worklist round. Only the frontier's own vertices and edges are charged.
 func (e *Engine) pushSparse(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
-	g := e.R.G
-	if e.dedup == nil {
-		e.dedup = worklist.NewDense(f.n)
-	}
-	nextSet := e.dedup
-	bag := worklist.NewBag()
-	var cnt, outEdges atomic.Int64
 	stats := e.R.ParallelItems(int64(len(f.sparse)), func(t *memsim.Thread, lo, hi int64) {
-		h := bag.NewHandle()
 		e.wl.ReadRange(t, lo, hi)
-		var chunkVerts, chunkEdges, pushed, nextOut int64
-		activate := func(d graph.Node) {
-			if nextSet.Set(d) {
-				h.Push(d)
-				pushed++
-				nextOut += g.OutDegree(d)
-			}
-		}
+		var chunkVerts, chunkEdges int64
+		buf := e.claims[t.ID]
+		claim := func(d graph.Node) { buf = append(buf, d) }
 		for _, u := range f.sparse[lo:hi] {
 			chunkVerts++
-			chunkEdges += e.scanPush(t, u, args, activate)
+			chunkEdges += e.scanPush(t, u, args, claim)
 		}
-		h.Flush()
+		e.claims[t.ID] = buf
 		e.chargePushChunk(t, args, chunkVerts, chunkEdges, true)
-		e.wl.WriteRange(t, 0, pushed)
-		cnt.Add(pushed)
-		outEdges.Add(nextOut)
 	})
 	rs.Stats = stats
-	next := &Frontier{n: f.n, sparse: bag.Drain(), count: cnt.Load(), outEdges: outEdges.Load()}
-	for _, v := range next.sparse {
-		nextSet.Unset(v)
-	}
-	return next
+	return e.finishPush(e.mergeClaims(f.n), rs)
 }
 
 // pushDense scatters from the bit-vector representation: every round scans
 // the whole frontier bit-vector and offsets array (the §5.2 dense-worklist
 // penalty), visiting edges only for active vertices.
 func (e *Engine) pushDense(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
-	g := e.R.G
 	n := int64(f.n)
-	nextSet := worklist.NewDense(f.n)
-	var cnt, outEdges atomic.Int64
 	stats := e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
 		if f.count < n {
 			e.bits.ReadRange(t, int64(lo)/64, int64(hi)/64+1)
@@ -374,25 +433,19 @@ func (e *Engine) pushDense(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 				e.R.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
 			}
 		}
-		var chunkVerts, chunkEdges, pushed, nextOut int64
-		activate := func(d graph.Node) {
-			if nextSet.Set(d) {
-				pushed++
-				nextOut += g.OutDegree(d)
-			}
-		}
+		var chunkVerts, chunkEdges int64
+		buf := e.claims[t.ID]
+		claim := func(d graph.Node) { buf = append(buf, d) }
 		perVertexEdges := f.count < n
 		f.dense.ForEachInRange(lo, hi, func(u graph.Node) {
 			chunkVerts++
-			chunkEdges += e.scanPushCharged(t, u, args, activate, perVertexEdges)
+			chunkEdges += e.scanPushCharged(t, u, args, claim, perVertexEdges)
 		})
+		e.claims[t.ID] = buf
 		e.chargePushChunk(t, args, chunkVerts, chunkEdges, false)
-		e.nextBits.RandomN(t, pushed, true)
-		cnt.Add(pushed)
-		outEdges.Add(nextOut)
 	})
 	rs.Stats = stats
-	return &Frontier{n: f.n, dense: nextSet, isDense: true, count: cnt.Load(), outEdges: outEdges.Load()}
+	return e.finishPush(e.mergeClaims(f.n), rs)
 }
 
 // scanPush visits u's out- (and with Symmetric, in-) neighborhood, charging
@@ -546,7 +599,7 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 		t.Op(int(ops))
 		e.nextBits.RandomN(t, activated, true)
 		if args.OnPullChunk != nil {
-			args.OnPullChunk(lo, hi)
+			args.OnPullChunk(t, lo, hi)
 		}
 		cnt.Add(activated)
 		outEdges.Add(nextOut)
@@ -623,31 +676,39 @@ func (e *Engine) VertexMap(a VertexMapArgs) memsim.RegionStats {
 }
 
 // VertexFilter is VertexMap plus a predicate: it returns the frontier of
-// vertices for which keep is true, charging the worklist writes.
+// vertices for which keep is true, charging the worklist writes. Each
+// thread buffers the vertices it keeps (every vertex has one owner, so the
+// kept set is deterministic); the merge concatenates the buffers in thread
+// order and sorts by ID.
 func (e *Engine) VertexFilter(a VertexMapArgs, keep func(v graph.Node) bool) *Frontier {
 	g := e.R.G
-	bag := worklist.NewBag()
-	var cnt, outEdges atomic.Int64
 	e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
 		e.chargeVertexChunk(t, &a, lo, hi)
-		h := bag.NewHandle()
-		var kept, nextOut int64
+		buf := e.claims[t.ID]
+		var kept int64
 		for v := lo; v < hi; v++ {
 			if a.Fn != nil {
 				a.Fn(v)
 			}
 			if keep(v) {
-				h.Push(v)
+				buf = append(buf, v)
 				kept++
-				nextOut += g.OutDegree(v)
 			}
 		}
-		h.Flush()
+		e.claims[t.ID] = buf
 		e.wl.WriteRange(t, 0, kept)
-		cnt.Add(kept)
-		outEdges.Add(nextOut)
 	})
-	f := &Frontier{n: g.NumNodes(), sparse: bag.Drain(), count: cnt.Load(), outEdges: outEdges.Load()}
+	var vs []graph.Node
+	for i := range e.claims {
+		vs = append(vs, e.claims[i]...)
+		e.claims[i] = e.claims[i][:0]
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	var outEdges int64
+	for _, v := range vs {
+		outEdges += g.OutDegree(v)
+	}
+	f := &Frontier{n: g.NumNodes(), sparse: vs, count: int64(len(vs)), outEdges: outEdges}
 	if f.count > 0 && e.wantDense(f.count, f.outEdges) {
 		f.dense = worklist.FromVertices(f.n, f.sparse)
 		f.isDense = true

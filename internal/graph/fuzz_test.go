@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadCSR drives the binary-CSR deserializer with arbitrary bytes. The
+// invariants: ReadCSR never panics and never commits an absurd allocation,
+// and anything it accepts is a valid graph that survives a write/read
+// round-trip unchanged.
+func FuzzReadCSR(f *testing.F) {
+	// Seed 1: a small valid unweighted graph.
+	g := FromEdges(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}, false, true)
+	var valid bytes.Buffer
+	if err := WriteCSR(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	// Seed 2: a valid weighted graph.
+	wg := FromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false, true)
+	wg.AddRandomWeights(16, 42)
+	var weighted bytes.Buffer
+	if err := WriteCSR(&weighted, wg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(weighted.Bytes())
+
+	// Seed 3: truncated mid-body (header promises more than the file has).
+	f.Add(valid.Bytes()[:len(valid.Bytes())-9])
+
+	// Seed 4: truncated mid-header.
+	f.Add(valid.Bytes()[:12])
+
+	// Seed 5: hostile header — valid magic, node/edge counts implying
+	// terabytes. Must be rejected before any allocation.
+	hostile := make([]byte, 32)
+	binary.LittleEndian.PutUint64(hostile[0:], csrMagic)
+	binary.LittleEndian.PutUint64(hostile[8:], 0)
+	binary.LittleEndian.PutUint64(hostile[16:], 1<<40) // nodes
+	binary.LittleEndian.PutUint64(hostile[24:], 1<<50) // edges
+	f.Add(hostile)
+
+	// Seed 6: overflow bait — counts chosen so naive size math wraps.
+	wrap := make([]byte, 32)
+	binary.LittleEndian.PutUint64(wrap[0:], csrMagic)
+	binary.LittleEndian.PutUint64(wrap[8:], flagWeighted)
+	binary.LittleEndian.PutUint64(wrap[16:], ^uint64(0)>>1)
+	binary.LittleEndian.PutUint64(wrap[24:], ^uint64(0)>>1)
+	f.Add(wrap)
+
+	// Seed 7: unknown flag bits.
+	badflags := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint64(badflags[8:], 0xFF)
+	f.Add(badflags)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		// Accepted inputs must be internally consistent...
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ReadCSR accepted a graph failing Validate: %v", err)
+		}
+		// ...and round-trip byte-identically through the serializer.
+		var out bytes.Buffer
+		if err := WriteCSR(&out, got); err != nil {
+			t.Fatalf("re-serializing accepted graph: %v", err)
+		}
+		again, err := ReadCSR(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading re-serialized graph: %v", err)
+		}
+		if got.NumNodes() != again.NumNodes() || got.NumEdges() != again.NumEdges() {
+			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d nodes/edges",
+				got.NumNodes(), got.NumEdges(), again.NumNodes(), again.NumEdges())
+		}
+	})
+}

@@ -142,15 +142,32 @@ func (a *Array) socketOf(p int64) int {
 	}
 }
 
-// firstTouch reports whether page p had not been touched before and marks
-// it touched, exactly once even under concurrent touches.
-func (a *Array) firstTouch(p int64) bool {
-	w := &a.touched[p>>6]
+// firstTouch reports whether thread t is the first to touch page p, judged
+// against the global touched bitmap frozen at region start plus t's own
+// first-touch overlay. The global bitmap is never written mid-region; the
+// machine merges every thread's overlay at the region barrier (two-phase
+// first touch). Concurrent first touches of one page by distinct threads
+// each charge a fault — deterministically, because the decision depends
+// only on the thread's own access sequence.
+func (a *Array) firstTouch(t *Thread, p int64) bool {
+	w := p >> 6
 	mask := uint64(1) << (uint(p) & 63)
-	if w.Load()&mask != 0 {
+	if a.touched[w].Load()&mask != 0 {
 		return false
 	}
-	return w.Or(mask)&mask == 0
+	if t.touches == nil {
+		t.touches = make(map[*Array][]uint64)
+	}
+	ov := t.touches[a]
+	if ov == nil {
+		ov = make([]uint64, len(a.touched))
+		t.touches[a] = ov
+	}
+	if ov[w]&mask != 0 {
+		return false
+	}
+	ov[w] |= mask
+	return true
 }
 
 // effectivePageSize returns the page size used for this particular

@@ -32,7 +32,6 @@ type Machine struct {
 	// Region state, valid while a Parallel region runs.
 	regionThreads         int
 	regionThreadsOnSocket []int32
-	regionShootdowns      atomic.Uint64
 
 	// thpSmallFraction is the fraction of translations on THP-backed
 	// allocations that still resolve through 4 KB pages.
@@ -363,8 +362,13 @@ func (m *Machine) parallel(threads, pinSocket int, fn func(t *Thread)) RegionSta
 			smtScale: smtScale,
 		}
 	}
-	m.regionShootdowns.Store(0)
 
+	// Execute the virtual threads on real goroutines. Each Thread
+	// accumulates its charges, counters and simulated time into private
+	// state; shared machine state (page-table touch bits, shootdown
+	// totals) is only read during the region and updated from recorded
+	// intents at the barrier below, so the merged result is byte-identical
+	// for every goroutine interleaving and GOMAXPROCS setting.
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for i := 0; i < threads; i++ {
@@ -375,9 +379,28 @@ func (m *Machine) parallel(threads, pinSocket int, fn func(t *Thread)) RegionSta
 	}
 	wg.Wait()
 
-	// Apply TLB-shootdown IPIs generated by migrations: every running
-	// thread services every shootdown batch.
-	shoot := float64(m.regionShootdowns.Load())
+	// Barrier merge, in thread-index order.
+	//
+	// Phase 1: total the TLB-shootdown batches generated by migrations.
+	var shoot float64
+	for _, t := range ts {
+		shoot += float64(t.shootdowns)
+	}
+	// Phase 2: apply first-touch intents to the arrays' (frozen) touched
+	// bitmaps. OR-ing bits is commutative, so the merged bitmap is
+	// deterministic regardless of map iteration order.
+	for _, t := range ts {
+		for a, ov := range t.touches {
+			for w, bits := range ov {
+				if bits != 0 {
+					a.touched[w].Or(bits)
+				}
+			}
+		}
+		t.touches = nil
+	}
+	// Phase 3: charge shootdown IPIs (every running thread services every
+	// batch) and fold per-thread clocks and counters into the region stats.
 	var stats RegionStats
 	stats.Threads = threads
 	for _, t := range ts {
@@ -448,7 +471,7 @@ func (m *Machine) access(t *Thread, a *Array, i, n int64, isWrite, seq bool) {
 			t.Clock += walk
 			t.C.UserNs += walk
 		}
-		if a.firstTouch(p) {
+		if a.firstTouch(t, p) {
 			t.C.MinorFaults++
 			t.AdvanceKernel(fault)
 		}
@@ -473,7 +496,7 @@ func (m *Machine) access(t *Thread, a *Array, i, n int64, isWrite, seq bool) {
 				book = m.cost.MigrationBookkeepOptane
 			}
 			t.AdvanceKernel(book + m.cost.MigrationCopyPerByte*float64(a.pageSize))
-			m.regionShootdowns.Add(1)
+			t.shootdowns++
 			// The migrating thread's own stale entry is dropped.
 			t.tlb.class(pageSize).flushRandom(t.next())
 		}
@@ -806,7 +829,7 @@ func (m *Machine) randomN(t *Thread, a *Array, n int64, isWrite bool) {
 			}
 			if migs > 0 {
 				t.C.Migrations += migs
-				m.regionShootdowns.Add(migs)
+				t.shootdowns += migs
 			}
 		}
 	}

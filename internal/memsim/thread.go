@@ -27,6 +27,20 @@ type Thread struct {
 	// core (two threads per core each run at ~74% of a full core).
 	smtScale float64
 
+	// shootdowns counts the TLB-shootdown batches this thread's migrations
+	// generated during the region. The machine sums the per-thread counts
+	// in thread-index order at the region barrier and charges the IPIs to
+	// every thread, so the total is independent of goroutine interleaving.
+	shootdowns uint64
+
+	// touches is this thread's first-touch intent overlay: one lazily
+	// allocated bitmap per array recording pages the thread touched first
+	// during the current region. The arrays' global touched bitmaps are
+	// frozen while a region runs; the machine merges the overlays at the
+	// barrier (two-phase first touch), so fault charging depends only on
+	// the thread's own access sequence, never on sibling timing.
+	touches map[*Array][]uint64
+
 	// Last-touched line memo: consecutive accesses to the same 64-byte
 	// line of the same array hit in L1 and cost almost nothing.
 	lastArray *Array

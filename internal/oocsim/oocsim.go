@@ -153,11 +153,24 @@ func (e *Engine) Machine() *memsim.Machine { return e.m }
 func (e *Engine) EdgeBytesPerSweep() int64 { return e.gridArr.Bytes() }
 
 // sweep streams every grid column once. For each edge, fn receives the
-// source and destination; it must only write destination state, which is
-// safe because each thread owns disjoint destination stripes. reversed
-// swaps edge direction (for undirected propagation). Returns the number
-// of edges for which fn reported an update.
+// source and destination and must only write destination state. In a
+// forward sweep destinations fall in the calling thread's owned column
+// stripes; in a reversed sweep (edge direction swapped, for undirected
+// propagation) they fall in the block's row stripe, which any thread may
+// be writing — reversed operators must use commutative atomic writes.
+// Returns the number of edges for which fn reported an update.
 func (e *Engine) sweep(reversed bool, fn func(src, dst graph.Node) bool) int64 {
+	return e.sweepOwned(reversed, func(_, _ graph.Node) func(src, dst graph.Node) bool {
+		return fn
+	})
+}
+
+// sweepOwned is sweep for operators that need to know the calling thread's
+// owned destination range [ownLo, ownHi): mk builds the per-thread edge
+// function once per thread. Operators use it to read live state for owned
+// vertices (their own ordered writes) and a frozen snapshot for foreign
+// ones, which keeps sweeps deterministic under real parallelism.
+func (e *Engine) sweepOwned(reversed bool, mk func(ownLo, ownHi graph.Node) func(src, dst graph.Node) bool) int64 {
 	threads := e.cfg.Machine.MaxThreads()
 	if threads > e.p {
 		threads = e.p
@@ -166,6 +179,10 @@ func (e *Engine) sweep(reversed bool, fn func(src, dst graph.Node) bool) int64 {
 	e.m.Parallel(threads, func(t *memsim.Thread) {
 		jlo := e.p * t.ID / threads
 		jhi := e.p * (t.ID + 1) / threads
+		nAll := int64(e.g.NumNodes())
+		ownLo := graph.Node(minI64(int64(jlo)*int64(e.stripe), nAll))
+		ownHi := graph.Node(minI64(int64(jhi)*int64(e.stripe), nAll))
+		fn := mk(ownLo, ownHi)
 		local := int64(0)
 		n := int64(e.g.NumNodes())
 		for j := jlo; j < jhi; j++ {
@@ -262,23 +279,56 @@ func (e *Engine) CC() *analytics.Result {
 	for i := range labels {
 		labels[i].Store(uint32(i))
 	}
+	// snap freezes the labels at the start of each sweep so the update
+	// count and label trajectory are deterministic under any interleaving.
+	//
+	// Forward sweeps write only the thread-owned destination (column)
+	// stripes: owned sources read live — the in-sweep multi-hop hops that
+	// make GridGraph cc converge fast — foreign ones from the snapshot,
+	// and writes are plain ordered stores.
+	//
+	// Reversed sweeps invert the edges, so the written endpoint lies in
+	// the block's row stripe, owned by no particular thread: there all
+	// reads come from the snapshot, claims are judged against the
+	// snapshot, and writes go through a min-CAS (commutative, so the
+	// post-sweep labels are interleaving-independent too).
+	snap := make([]uint32, n)
+	refresh := func() {
+		for i := range snap {
+			snap[i] = labels[i].Load()
+		}
+	}
+	fwd := func(ownLo, ownHi graph.Node) func(s, d graph.Node) bool {
+		return func(s, d graph.Node) bool {
+			var ls uint32
+			if s >= ownLo && s < ownHi {
+				ls = labels[s].Load()
+			} else {
+				ls = snap[s]
+			}
+			if ld := labels[d].Load(); ls < ld {
+				labels[d].Store(ls) // d is owned: plain ordered write
+				return true
+			}
+			return false
+		}
+	}
+	rev := func(_, _ graph.Node) func(s, d graph.Node) bool {
+		return func(s, d graph.Node) bool {
+			if ls := snap[s]; ls < snap[d] {
+				relaxMinLabel(labels, d, ls)
+				return true
+			}
+			return false
+		}
+	}
 	rounds := 0
 	for {
 		rounds++
-		push := func(s, d graph.Node) bool {
-			ls := labels[s].Load()
-			for {
-				ld := labels[d].Load()
-				if ls >= ld {
-					return false
-				}
-				if labels[d].CompareAndSwap(ld, ls) {
-					return true
-				}
-			}
-		}
-		updates := e.sweep(false, push)
-		updates += e.sweep(true, push)
+		refresh()
+		updates := e.sweepOwned(false, fwd)
+		refresh()
+		updates += e.sweepOwned(true, rev)
 		if updates == 0 || e.timedOut() {
 			break
 		}
@@ -303,6 +353,19 @@ func (e *Engine) PageRank() (*analytics.Result, error) {
 // Apps returns the benchmarks GridGraph implements (§6.4: it has no bc,
 // kcore or sssp).
 func Apps() []string { return []string{"bfs", "cc", "pr"} }
+
+// relaxMinLabel lowers a[v] to x with a CAS loop (commutative min).
+func relaxMinLabel(a []atomic.Uint32, v graph.Node, x uint32) {
+	for {
+		old := a[v].Load()
+		if old <= x {
+			return
+		}
+		if a[v].CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
 
 func maxI64(a, b int64) int64 {
 	if a > b {

@@ -1,122 +1,26 @@
-// Package worklist implements the worklist taxonomy of §5.1 of the paper:
+// Package worklist implements the frontier structures of §5.1 of the
+// paper. Dense is a bit-vector of size |V| marking active vertices — the
+// only frontier representation in Ligra/GBBS/GraphIt-style systems, and
+// the dedup/membership structure behind the operator engine's sparse
+// worklists too. The engine's sparse frontiers themselves are per-thread
+// claim buffers merged deterministically at round barriers (see
+// internal/engine), and delta-stepping sssp schedules over plain priority-
+// indexed bucket slices with barrier-applied intents — both replaced the
+// concurrent chunked Bag and the OBIM bucket scheduler this package used
+// to provide, which could not order work deterministically under real
+// parallelism.
 //
-//   - Dense: a bit-vector of size |V| marking active vertices (the only
-//     frontier representation in Ligra/GBBS/GraphIt-style systems).
-//   - Sparse (Bag): an explicit chunked list of active vertices, the
-//     Galois-style structure that makes asynchronous data-driven
-//     algorithms possible.
-//   - Double-buffered pairs of either, for bulk-synchronous rounds.
-//   - OBIM: an ordered sequence of sparse bags indexed by priority, the
-//     scheduler behind delta-stepping sssp.
-//
-// All structures are safe for concurrent use by the virtual threads of one
-// memsim parallel region. The structures are pure data structures; the
-// simulated cost of reading and writing them is charged by the kernels
-// through their memsim arrays.
+// Dense is safe for concurrent use by the virtual threads of one memsim
+// parallel region. It is a pure data structure; the simulated cost of
+// reading and writing it is charged by the kernels through their memsim
+// arrays.
 package worklist
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"pmemgraph/internal/graph"
 )
-
-// ChunkSize is the number of vertices per sparse-worklist chunk; Galois
-// uses chunked FIFOs of similar granularity.
-const ChunkSize = 512
-
-// Bag is a concurrent bag of vertex chunks (a sparse worklist).
-type Bag struct {
-	mu     sync.Mutex
-	chunks [][]graph.Node
-	size   atomic.Int64
-}
-
-// NewBag returns an empty bag.
-func NewBag() *Bag { return &Bag{} }
-
-// PushChunk adds a chunk of vertices. Empty chunks are ignored.
-func (b *Bag) PushChunk(chunk []graph.Node) {
-	if len(chunk) == 0 {
-		return
-	}
-	b.mu.Lock()
-	b.chunks = append(b.chunks, chunk)
-	b.mu.Unlock()
-	b.size.Add(int64(len(chunk)))
-}
-
-// PopChunk removes and returns one chunk, or nil if the bag is empty.
-func (b *Bag) PopChunk() []graph.Node {
-	b.mu.Lock()
-	n := len(b.chunks)
-	if n == 0 {
-		b.mu.Unlock()
-		return nil
-	}
-	c := b.chunks[n-1]
-	b.chunks = b.chunks[:n-1]
-	b.mu.Unlock()
-	b.size.Add(-int64(len(c)))
-	return c
-}
-
-// Size returns the number of vertices currently in the bag.
-func (b *Bag) Size() int64 { return b.size.Load() }
-
-// Empty reports whether the bag holds no vertices.
-func (b *Bag) Empty() bool { return b.size.Load() == 0 }
-
-// Drain empties the bag and returns all vertices in one slice (used
-// between bulk-synchronous rounds).
-func (b *Bag) Drain() []graph.Node {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	var total int
-	for _, c := range b.chunks {
-		total += len(c)
-	}
-	out := make([]graph.Node, 0, total)
-	for _, c := range b.chunks {
-		out = append(out, c...)
-	}
-	b.chunks = b.chunks[:0]
-	b.size.Store(0)
-	return out
-}
-
-// Handle is a per-thread push buffer over a Bag: pushes accumulate locally
-// and publish in chunks, avoiding a lock per vertex.
-type Handle struct {
-	bag *Bag
-	buf []graph.Node
-}
-
-// NewHandle returns a push handle bound to bag.
-func (b *Bag) NewHandle() *Handle {
-	return &Handle{bag: b, buf: make([]graph.Node, 0, ChunkSize)}
-}
-
-// Push adds one vertex to the handle's local chunk, publishing it when
-// full.
-func (h *Handle) Push(v graph.Node) {
-	h.buf = append(h.buf, v)
-	if len(h.buf) >= ChunkSize {
-		h.Flush()
-	}
-}
-
-// Flush publishes any locally buffered vertices.
-func (h *Handle) Flush() {
-	if len(h.buf) == 0 {
-		return
-	}
-	chunk := make([]graph.Node, len(h.buf))
-	copy(chunk, h.buf)
-	h.bag.PushChunk(chunk)
-	h.buf = h.buf[:0]
-}
 
 // Dense is a bit-vector worklist over |V| vertices with atomic activation.
 type Dense struct {
@@ -250,85 +154,4 @@ func trailingZeros(x uint64) int {
 		n++
 	}
 	return n
-}
-
-// Double is a pair of dense worklists for bulk-synchronous rounds.
-type Double struct {
-	Cur, Next *Dense
-}
-
-// NewDouble returns a double-buffered dense worklist for n vertices.
-func NewDouble(n int) *Double {
-	return &Double{Cur: NewDense(n), Next: NewDense(n)}
-}
-
-// Swap makes Next current and clears the new Next.
-func (d *Double) Swap() {
-	d.Cur, d.Next = d.Next, d.Cur
-	d.Next.Clear()
-}
-
-// OBIM is an ordered-by-integer-metric scheduler: a sequence of sparse bags
-// indexed by priority (delta-stepping buckets). Priorities are processed in
-// ascending order; pushing below the cursor re-opens that priority.
-type OBIM struct {
-	mu      sync.Mutex
-	buckets map[int]*Bag
-	cursor  int
-}
-
-// NewOBIM returns an empty scheduler.
-func NewOBIM() *OBIM {
-	return &OBIM{buckets: make(map[int]*Bag)}
-}
-
-// Push adds v at priority p.
-func (o *OBIM) Push(p int, chunk []graph.Node) {
-	if len(chunk) == 0 {
-		return
-	}
-	o.mu.Lock()
-	b := o.buckets[p]
-	if b == nil {
-		b = NewBag()
-		o.buckets[p] = b
-	}
-	if p < o.cursor {
-		o.cursor = p
-	}
-	o.mu.Unlock()
-	b.PushChunk(chunk)
-}
-
-// CurrentPriority returns the lowest priority holding work, or -1 if the
-// scheduler is empty. It also advances the internal cursor past drained
-// buckets.
-func (o *OBIM) CurrentPriority() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	best := -1
-	for p, b := range o.buckets {
-		if b.Empty() {
-			continue
-		}
-		if best == -1 || p < best {
-			best = p
-		}
-	}
-	if best >= 0 {
-		o.cursor = best
-	}
-	return best
-}
-
-// Bucket returns the bag at priority p, or nil.
-func (o *OBIM) Bucket(p int) *Bag {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.buckets[p]
-}
-
-// Empty reports whether no bucket holds work.
-func (o *OBIM) Empty() bool {
-	return o.CurrentPriority() == -1
 }

@@ -1,97 +1,11 @@
 package worklist
 
 import (
-	"sync"
 	"testing"
 	"testing/quick"
 
 	"pmemgraph/internal/graph"
 )
-
-func TestBagPushPop(t *testing.T) {
-	b := NewBag()
-	if !b.Empty() || b.Size() != 0 {
-		t.Fatal("new bag not empty")
-	}
-	b.PushChunk([]graph.Node{1, 2, 3})
-	b.PushChunk(nil) // ignored
-	if b.Size() != 3 {
-		t.Fatalf("size = %d", b.Size())
-	}
-	c := b.PopChunk()
-	if len(c) != 3 {
-		t.Fatalf("chunk len = %d", len(c))
-	}
-	if b.PopChunk() != nil {
-		t.Fatal("pop from empty bag returned a chunk")
-	}
-}
-
-func TestBagDrain(t *testing.T) {
-	b := NewBag()
-	b.PushChunk([]graph.Node{1, 2})
-	b.PushChunk([]graph.Node{3})
-	all := b.Drain()
-	if len(all) != 3 {
-		t.Fatalf("drained %d items", len(all))
-	}
-	if !b.Empty() {
-		t.Fatal("bag not empty after drain")
-	}
-}
-
-func TestBagConcurrent(t *testing.T) {
-	b := NewBag()
-	var wg sync.WaitGroup
-	const workers, per = 8, 1000
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			h := b.NewHandle()
-			for i := 0; i < per; i++ {
-				h.Push(graph.Node(w*per + i))
-			}
-			h.Flush()
-		}(w)
-	}
-	wg.Wait()
-	if b.Size() != workers*per {
-		t.Fatalf("size = %d, want %d", b.Size(), workers*per)
-	}
-	seen := make(map[graph.Node]bool)
-	for {
-		c := b.PopChunk()
-		if c == nil {
-			break
-		}
-		for _, v := range c {
-			if seen[v] {
-				t.Fatalf("duplicate %d", v)
-			}
-			seen[v] = true
-		}
-	}
-	if len(seen) != workers*per {
-		t.Fatalf("drained %d unique items", len(seen))
-	}
-}
-
-func TestHandleFlushOnChunkBoundary(t *testing.T) {
-	b := NewBag()
-	h := b.NewHandle()
-	for i := 0; i < ChunkSize; i++ {
-		h.Push(graph.Node(i))
-	}
-	// A full chunk must have been auto-published.
-	if b.Size() != ChunkSize {
-		t.Fatalf("size = %d, want %d after auto-flush", b.Size(), ChunkSize)
-	}
-	h.Flush() // no-op
-	if b.Size() != ChunkSize {
-		t.Fatal("empty flush changed size")
-	}
-}
 
 func TestDenseSetTestClear(t *testing.T) {
 	d := NewDense(200)
@@ -159,48 +73,6 @@ func TestDensePropertySetImpliesTest(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestDoubleSwap(t *testing.T) {
-	d := NewDouble(100)
-	d.Next.Set(7)
-	d.Swap()
-	if !d.Cur.Test(7) {
-		t.Fatal("swap lost next frontier")
-	}
-	if d.Next.Count() != 0 {
-		t.Fatal("next not cleared after swap")
-	}
-}
-
-func TestOBIMOrdering(t *testing.T) {
-	o := NewOBIM()
-	if !o.Empty() || o.CurrentPriority() != -1 {
-		t.Fatal("new OBIM not empty")
-	}
-	o.Push(5, []graph.Node{50})
-	o.Push(2, []graph.Node{20})
-	o.Push(9, []graph.Node{90})
-	if p := o.CurrentPriority(); p != 2 {
-		t.Fatalf("current priority = %d, want 2", p)
-	}
-	o.Bucket(2).PopChunk()
-	if p := o.CurrentPriority(); p != 5 {
-		t.Fatalf("after draining 2, priority = %d, want 5", p)
-	}
-	// Pushing below the cursor re-opens earlier work.
-	o.Push(1, []graph.Node{10})
-	if p := o.CurrentPriority(); p != 1 {
-		t.Fatalf("re-opened priority = %d, want 1", p)
-	}
-}
-
-func TestOBIMEmptyChunkIgnored(t *testing.T) {
-	o := NewOBIM()
-	o.Push(3, nil)
-	if !o.Empty() {
-		t.Fatal("empty chunk created work")
 	}
 }
 
