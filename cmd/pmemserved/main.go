@@ -1,0 +1,90 @@
+// Command pmemserved is the long-lived analytics serving daemon: it keeps
+// Table 3 inputs and serialized CSR graphs resident in a shared registry
+// and serves concurrent kernel executions over HTTP/JSON, with a bounded
+// job scheduler and an exact result cache built on the engine's
+// byte-identical determinism. See DESIGN.md "Serving layer" for the API.
+//
+// Usage:
+//
+//	pmemserved [-addr :8097] [-machine optane|dram|entropy]
+//	           [-scale small|full] [-workers 4] [-queue 256]
+//	           [-cache 1024] [-preload clueweb12,kron30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8097", "listen address")
+	machine := flag.String("machine", "optane", "simulated platform: optane, dram or entropy")
+	scaleFlag := flag.String("scale", "small", "input/machine scale: full or small")
+	workers := flag.Int("workers", server.DefaultWorkers, "max concurrent kernel executions")
+	queue := flag.Int("queue", server.DefaultQueueCap, "max queued jobs before 429")
+	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "max cached results")
+	preload := flag.String("preload", "", "comma-separated Table 3 inputs to load at startup")
+	flag.Parse()
+
+	var scale gen.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = gen.ScaleSmall
+	case "full":
+		scale = gen.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "pmemserved: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	var cfg memsim.MachineConfig
+	switch *machine {
+	case "optane":
+		cfg = memsim.OptaneMachine()
+	case "dram":
+		cfg = memsim.DRAMMachine()
+	case "entropy":
+		cfg = memsim.EntropyMachine()
+	default:
+		fmt.Fprintf(os.Stderr, "pmemserved: unknown machine %q (want optane, dram or entropy)\n", *machine)
+		os.Exit(2)
+	}
+	cfg = memsim.Scaled(cfg, scale.Div())
+
+	srv := server.New(server.Config{
+		Machine:      cfg,
+		Workers:      *workers,
+		QueueCap:     *queue,
+		CacheEntries: *cacheEntries,
+	})
+	defer srv.Close()
+
+	if *preload != "" {
+		for _, input := range strings.Split(*preload, ",") {
+			input = strings.TrimSpace(input)
+			if input == "" {
+				continue
+			}
+			info, err := srv.Registry().LoadInput(input, input, scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmemserved: preloading %s: %v\n", input, err)
+				os.Exit(1)
+			}
+			fmt.Printf("loaded %s: %d nodes, %d edges, %.1f MB CSR\n",
+				info.Name, info.Nodes, info.Edges, float64(info.CSRBytes)/(1<<20))
+		}
+	}
+
+	fmt.Printf("pmemserved: serving %s (scale %s) on %s with %d workers\n",
+		cfg.Name, *scaleFlag, *addr, *workers)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "pmemserved: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,36 @@
+package analytics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalResult serializes res into the stable wire format shared by the
+// serving layer's result endpoints and its result cache. Stability here
+// means canonical bytes, not merely valid JSON: encoding/json emits struct
+// fields in declaration order and formats floats with the shortest
+// round-trip representation, so for a fixed Result value the output is
+// byte-identical across runs, GOMAXPROCS settings and platforms. Combined
+// with the engine's deterministic execution (every kernel Result is a pure
+// function of graph, configuration and machine), equal cache keys imply
+// equal bytes — which is what lets a cache hit stand in for a re-execution
+// provably, not heuristically.
+func MarshalResult(res *Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("analytics: marshaling nil result")
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: marshaling result: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalResult parses bytes produced by MarshalResult.
+func UnmarshalResult(data []byte) (*Result, error) {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("analytics: unmarshaling result: %w", err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,106 @@
+package analytics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/memsim"
+)
+
+func jsonTestRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	m := memsim.NewMachine(memsim.Scaled(memsim.OptaneMachine(), 32))
+	g := gen.WebCrawl(600, 5, 40, 7)
+	g.BuildIn()
+	return core.MustNew(m, g, core.GaloisDefaults(4))
+}
+
+func TestMarshalResultRoundTrip(t *testing.T) {
+	r := jsonTestRuntime(t)
+	defer r.Close()
+	res := BFS(r, engine.Config{}, 0)
+	data, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Error("round trip changed the result")
+	}
+}
+
+func TestMarshalResultDeterministicBytes(t *testing.T) {
+	r1 := jsonTestRuntime(t)
+	defer r1.Close()
+	r2 := jsonTestRuntime(t)
+	defer r2.Close()
+	a, err := MarshalResult(BFS(r1, engine.Config{}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalResult(BFS(r2, engine.Config{}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("identical executions serialized to different bytes")
+	}
+}
+
+// TestResultWireFormatFields locks the JSON field names the serving layer
+// and its clients depend on: renaming a tag silently changes the wire
+// format and invalidates every cached result, so it must fail loudly here.
+func TestResultWireFormatFields(t *testing.T) {
+	r := jsonTestRuntime(t)
+	defer r.Close()
+	res := BFS(r, engine.Config{}, 0)
+	data, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"app", "algorithm", "seconds", "rounds", "counters", "trace", "dist"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("wire format missing field %q", key)
+		}
+	}
+	var trace []map[string]json.RawMessage
+	if err := json.Unmarshal(top["trace"], &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("bfs trace empty")
+	}
+	for _, key := range []string{"round", "frontier", "edges", "dense", "pull", "stats"} {
+		if _, ok := trace[0][key]; !ok {
+			t.Errorf("trace wire format missing field %q", key)
+		}
+	}
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal(trace[0]["stats"], &stats); err != nil {
+		t.Fatal(err)
+	}
+	var counters map[string]json.RawMessage
+	if err := json.Unmarshal(stats["counters"], &counters); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"reads", "writes", "tlb_hits", "near_mem_hits", "user_ns", "kernel_ns"} {
+		if _, ok := counters[key]; !ok {
+			t.Errorf("counters wire format missing field %q", key)
+		}
+	}
+	if _, err := MarshalResult(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}

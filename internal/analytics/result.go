@@ -32,38 +32,40 @@ import (
 // Infinity is the unreached distance marker.
 const Infinity = math.MaxUint32
 
-// Result reports one kernel execution.
+// Result reports one kernel execution. The json tags define the stable
+// wire format MarshalResult emits (the serving layer's result bytes and
+// cache values); do not rename them without a format version bump.
 type Result struct {
 	// App is the benchmark name (bc, bfs, ...); Algorithm the variant
 	// (sparse-wl, dense-wl, dir-opt, delta-step, labelprop-sc, ...).
-	App       string
-	Algorithm string
+	App       string `json:"app"`
+	Algorithm string `json:"algorithm"`
 
 	// Seconds is the simulated wall-clock duration of the kernel.
-	Seconds float64
+	Seconds float64 `json:"seconds"`
 	// Rounds is the number of bulk-synchronous rounds (or scheduler
 	// epochs for asynchronous kernels).
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Counters are the simulated hardware events attributed to the run.
-	Counters memsim.Counters
+	Counters memsim.Counters `json:"counters"`
 
 	// TimedOut marks a run that exceeded its execution budget (the
 	// paper's 2-hour limit for the out-of-core experiments, Table 5).
-	TimedOut bool
+	TimedOut bool `json:"timed_out,omitempty"`
 
 	// Trace is the engine's per-round record (frontier size, edge count,
 	// representation, direction, region stats) for kernels built on the
 	// operator engine; nil for asynchronous kernels (delta-stepping) and
 	// tc. It backs frontier-threshold sweeps and the §5 round accounting.
-	Trace []engine.RoundStat
+	Trace []engine.RoundStat `json:"trace,omitempty"`
 
 	// Outputs (only the fields relevant to the app are set).
-	Dist       []uint32  // bfs levels / sssp distances
-	Labels     []uint32  // cc component labels
-	Rank       []float64 // pr
-	Centrality []float64 // bc dependency scores
-	InCore     []bool    // kcore membership
-	Triangles  uint64    // tc
+	Dist       []uint32  `json:"dist,omitempty"`       // bfs levels / sssp distances
+	Labels     []uint32  `json:"labels,omitempty"`     // cc component labels
+	Rank       []float64 `json:"rank,omitempty"`       // pr
+	Centrality []float64 `json:"centrality,omitempty"` // bc dependency scores
+	InCore     []bool    `json:"in_core,omitempty"`    // kcore membership
+	Triangles  uint64    `json:"triangles,omitempty"`  // tc
 }
 
 // window captures simulated time and counters around a kernel execution.

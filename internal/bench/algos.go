@@ -5,6 +5,7 @@ import (
 
 	"pmemgraph/internal/analytics"
 	"pmemgraph/internal/core"
+	"pmemgraph/internal/frameworks"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
 )
@@ -25,7 +26,7 @@ func algoStudy(opt Options, machine memsim.MachineConfig, threads int) error {
 		o.Weighted = weighted
 		o.BothDirections = both
 		if weighted && !g.HasWeights() {
-			g.AddRandomWeights(64, 0xC0FFEE)
+			g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
 		}
 		return core.MustNew(m, g, o)
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"text/tabwriter"
@@ -80,13 +81,39 @@ func (s *Sink) Records() []Record {
 }
 
 // WriteJSON writes the collected records to path as an indented JSON array
-// (the BENCH_figures.json format tracking the perf trajectory per PR).
+// (the BENCH_figures.json format tracking the perf trajectory per PR). The
+// write is atomic — a temp file in the target directory renamed over path —
+// so an interrupted or failed run never leaves a truncated results file for
+// CI artifact upload or trend tooling to misread.
 func (s *Sink) WriteJSON(path string) error {
+	if path == "" {
+		return fmt.Errorf("bench: empty results path")
+	}
 	data, err := json.MarshalIndent(s.Records(), "", "  ")
 	if err != nil {
 		return fmt.Errorf("bench: marshaling records: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-json-*")
+	if err != nil {
+		return fmt.Errorf("bench: creating temp results file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("bench: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("bench: setting results mode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("bench: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("bench: publishing results: %w", err)
+	}
+	return nil
 }
 
 // Runner executes one experiment.
@@ -159,7 +186,14 @@ func Title(name string) string { return registry[name].title }
 
 // --- shared input cache ---
 
-var inputCache sync.Map // key string -> *graph.Graph
+var inputCache = &sync.Map{} // key string -> *graph.Graph
+
+// resetInputs drops the process-wide input cache. Cached graphs gain
+// weights and transposes lazily as experiments touch them, so a runner's
+// numbers can depend on which experiments ran earlier in the process; the
+// golden-file tests reset the cache to pin each experiment's fresh-state
+// bytes.
+func resetInputs() { inputCache = &sync.Map{} }
 
 // input returns the scaled stand-in for a paper input, cached per process
 // (the generators are deterministic, so sharing is safe; kernels never

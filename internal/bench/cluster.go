@@ -46,7 +46,7 @@ func vertexRun(machine memsim.MachineConfig, g *graph.Graph, app string, threads
 	opts.Weighted = app == "sssp"
 	opts.BothDirections = app == "cc" || app == "pr" || app == "kcore"
 	if opts.Weighted && !g.HasWeights() {
-		g.AddRandomWeights(64, 0xC0FFEE)
+		g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
 	}
 	r, err := core.New(m, g, opts)
 	if err != nil {
@@ -102,7 +102,7 @@ func Table4(opt Options) error {
 	for _, gname := range graphs {
 		g, _ := input(gname, opt.Scale)
 		if !g.HasWeights() {
-			g.AddRandomWeights(64, 0xC0FFEE)
+			g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
 		}
 		params := frameworks.DefaultParams(g)
 		hosts := minHostsFor(g, opt.Scale)
@@ -149,7 +149,7 @@ func Figure11(opt Options) error {
 	for _, gname := range graphs {
 		g, _ := input(gname, opt.Scale)
 		if !g.HasWeights() {
-			g.AddRandomWeights(64, 0xC0FFEE)
+			g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
 		}
 		params := frameworks.DefaultParams(g)
 		minHosts := minHostsFor(g, opt.Scale)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; the golden-file
+// tests skip under -race (they assert byte determinism, which the race
+// detector cannot influence, and the harness runs ~15x slower under it).
+const raceEnabled = false

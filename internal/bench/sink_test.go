@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSinkWriteJSONAtomic(t *testing.T) {
+	sink := &Sink{}
+	sink.Add(Record{Experiment: "fig7", Graph: "rmat32", App: "bfs", SimSeconds: 1.5})
+	sink.Add(Record{Experiment: "fig7", WallSeconds: 0.25})
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "figures.json")
+	if err := sink.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(records) != 2 || records[0].Graph != "rmat32" {
+		t.Errorf("records = %+v", records)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("output missing trailing newline")
+	}
+
+	// Rewrite over the existing file (the partial-run snapshot path).
+	sink.Add(Record{Experiment: "fig9"})
+	if err := sink.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// No temp files may survive either write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".bench-json-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want only figures.json", len(entries))
+	}
+}
+
+func TestSinkWriteJSONEmptyPath(t *testing.T) {
+	sink := &Sink{}
+	if err := sink.WriteJSON(""); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestSinkWriteJSONUnwritableDir(t *testing.T) {
+	sink := &Sink{}
+	sink.Add(Record{Experiment: "fig7"})
+	missing := filepath.Join(t.TempDir(), "does", "not", "exist", "figures.json")
+	if err := sink.WriteJSON(missing); err == nil {
+		t.Error("missing directory accepted")
+	}
+
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	if err := sink.WriteJSON(filepath.Join(dir, "figures.json")); err == nil {
+		t.Error("read-only directory accepted")
+	}
+}
+
+// TestSinkWriteJSONDoesNotTruncateOnFailure pins the atomicity property:
+// when the write cannot complete, the previous results file survives
+// intact instead of being truncated in place.
+func TestSinkWriteJSONPreservesOldFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "figures.json")
+	sink := &Sink{}
+	sink.Add(Record{Experiment: "fig7"})
+	if err := sink.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	sink.Add(Record{Experiment: "fig9"})
+	if err := sink.WriteJSON(path); err == nil {
+		t.Fatal("write into read-only dir succeeded")
+	}
+	os.Chmod(dir, 0o700)
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed write modified the existing results file")
+	}
+}

@@ -98,14 +98,16 @@ type Access struct {
 	Write bool
 }
 
-// RoundStat records one EdgeMap round for the kernel's Result trace.
+// RoundStat records one EdgeMap round for the kernel's Result trace. The
+// json tags define the stable wire format of serialized traces (see
+// analytics.MarshalResult); do not rename them without a version bump.
 type RoundStat struct {
-	Round    int
-	Frontier int64 // active vertices entering the round
-	Edges    int64 // their total out-degree
-	Dense    bool  // representation iterated this round
-	Pull     bool  // direction used
-	Stats    memsim.RegionStats
+	Round    int                `json:"round"`
+	Frontier int64              `json:"frontier"` // active vertices entering the round
+	Edges    int64              `json:"edges"`    // their total out-degree
+	Dense    bool               `json:"dense"`    // representation iterated this round
+	Pull     bool               `json:"pull"`     // direction used
+	Stats    memsim.RegionStats `json:"stats"`
 }
 
 // Engine binds a runtime to a Config and owns the simulated frontier

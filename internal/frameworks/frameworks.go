@@ -130,6 +130,18 @@ var (
 // All returns the four profiles in the paper's presentation order.
 func All() []Profile { return []Profile{GraphIt, GAP, GBBS, Galois} }
 
+// ByName returns the profile with the given name (exact match against
+// "Galois", "GAP", "GBBS", "GraphIt"), used by callers that address
+// frameworks as strings (the serving layer, the facade's RunAs).
+func ByName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
 func appSet(apps ...string) map[string]bool {
 	m := make(map[string]bool, len(apps))
 	for _, a := range apps {
@@ -191,6 +203,17 @@ func (p Profile) Options(app string, threads int) core.Options {
 	}
 	return opts
 }
+
+// DefaultWeightMax and DefaultWeightSeed are the parameters of the
+// pseudo-random edge weights added to unweighted inputs for sssp (§3:
+// "all graphs are unweighted, so we generate random weights"). They are
+// exported so graph owners that pre-materialize weights (the serving
+// layer's registry seals graphs before sharing them across concurrent
+// jobs) produce exactly the weights RunOn would have added lazily.
+const (
+	DefaultWeightMax  = 64
+	DefaultWeightSeed = 0xC0FFEE
+)
 
 // Params carries per-app parameters for Run.
 type Params struct {
@@ -277,7 +300,7 @@ func (p Profile) Run(r *core.Runtime, app string, params Params) (*analytics.Res
 func (p Profile) RunOn(m *memsim.Machine, g *graph.Graph, app string, threads int, params Params) (*analytics.Result, error) {
 	opts := p.Options(app, threads)
 	if opts.Weighted && !g.HasWeights() {
-		g.AddRandomWeights(64, 0xC0FFEE)
+		g.AddRandomWeights(DefaultWeightMax, DefaultWeightSeed)
 	}
 	r, err := core.New(m, g, opts)
 	if err != nil {

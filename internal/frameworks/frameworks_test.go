@@ -1,6 +1,8 @@
 package frameworks
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"pmemgraph/internal/gen"
@@ -121,6 +123,68 @@ func TestAllFrameworksRunAllSupportedApps(t *testing.T) {
 			}
 			if res.App != app {
 				t.Errorf("%s/%s: result app = %q", p.Name, app, res.App)
+			}
+		}
+	}
+}
+
+// TestCapabilityGateMatrix pins the full §6.1 profile × kernel matrix
+// from an explicit table — not from the Supports bits themselves, so a
+// regression in the profile definitions cannot silently re-shape the
+// matrix. Every supported pair must execute; every unsupported pair must
+// return the documented capability error.
+func TestCapabilityGateMatrix(t *testing.T) {
+	// true = the paper reports a number for this (framework, app) cell.
+	expected := map[string]map[string]bool{
+		"Galois":  {"bc": true, "bfs": true, "cc": true, "kcore": true, "pr": true, "sssp": true, "tc": true},
+		"GAP":     {"bc": true, "bfs": true, "cc": true, "kcore": false, "pr": true, "sssp": true, "tc": true},
+		"GBBS":    {"bc": true, "bfs": true, "cc": true, "kcore": true, "pr": true, "sssp": true, "tc": true},
+		"GraphIt": {"bc": false, "bfs": true, "cc": true, "kcore": false, "pr": true, "sssp": true, "tc": true},
+	}
+	// The capability flags also select which algorithm each profile can
+	// express for the variant-bearing apps (§6.1). Engine-based kernels
+	// label themselves by traversal, so GraphIt's bulk-synchronous
+	// Bellman-Ford and plain label propagation both read "dir-opt" — the
+	// key assertion is that its missing bucketed worklists and non-vertex
+	// operators keep delta-step and labelprop-sc out of reach.
+	expectedAlgo := map[string]map[string]string{
+		"Galois":  {"sssp": "delta-step", "cc": "labelprop-sc"},
+		"GAP":     {"sssp": "delta-step", "cc": "pointer-jump"},
+		"GBBS":    {"sssp": "delta-step", "cc": "pointer-jump"},
+		"GraphIt": {"sssp": "dir-opt", "cc": "dir-opt"},
+	}
+	if len(All()) != len(expected) {
+		t.Fatalf("profile count %d does not match expectation table", len(All()))
+	}
+	g := gen.ErdosRenyi(400, 3200, 9)
+	params := DefaultParams(g)
+	for _, p := range All() {
+		row, ok := expected[p.Name]
+		if !ok {
+			t.Fatalf("no expectation row for profile %s", p.Name)
+		}
+		for _, app := range Apps() {
+			res, err := p.RunOn(testMachine(), g, app, 8, params)
+			if row[app] {
+				if err != nil {
+					t.Errorf("%s/%s: supported pair failed: %v", p.Name, app, err)
+					continue
+				}
+				if res.App != app || res.Seconds <= 0 {
+					t.Errorf("%s/%s: bad result app=%q seconds=%v", p.Name, app, res.App, res.Seconds)
+				}
+				if want := expectedAlgo[p.Name][app]; want != "" && res.Algorithm != want {
+					t.Errorf("%s/%s: algorithm %q, want %q", p.Name, app, res.Algorithm, want)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s/%s: unsupported pair executed", p.Name, app)
+				continue
+			}
+			want := fmt.Sprintf("%s does not implement %s", p.Name, app)
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s/%s: error %q does not contain the documented capability message %q", p.Name, app, err, want)
 			}
 		}
 	}

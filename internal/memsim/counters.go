@@ -4,31 +4,33 @@ package memsim
 // whole run. They correspond to the VTune / Platform Profiler measurements
 // the paper reports (TLB misses, page walks, near-memory hit rates, kernel
 // vs user time).
+// The json tags define the stable wire format of serialized results
+// (analytics.MarshalResult); do not rename them without a version bump.
 type Counters struct {
-	Reads  uint64
-	Writes uint64
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
 	// BytesRead / BytesWritten include streaming (range) accesses.
-	BytesRead    uint64
-	BytesWritten uint64
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
 
-	TLBHits    uint64
-	TLBMisses  uint64
-	PageWalkNs float64
+	TLBHits    uint64  `json:"tlb_hits"`
+	TLBMisses  uint64  `json:"tlb_misses"`
+	PageWalkNs float64 `json:"page_walk_ns"`
 
-	NearMemHits    uint64
-	NearMemMisses  uint64
-	LocalAccesses  uint64
-	RemoteAccesses uint64
+	NearMemHits    uint64 `json:"near_mem_hits"`
+	NearMemMisses  uint64 `json:"near_mem_misses"`
+	LocalAccesses  uint64 `json:"local_accesses"`
+	RemoteAccesses uint64 `json:"remote_accesses"`
 
-	MinorFaults uint64
-	Migrations  uint64
-	Shootdowns  uint64
+	MinorFaults uint64 `json:"minor_faults"`
+	Migrations  uint64 `json:"migrations"`
+	Shootdowns  uint64 `json:"shootdowns"`
 
 	// UserNs is time attributable to the application (compute plus
 	// memory stalls); KernelNs is time spent in simulated kernel code
 	// (fault service, migration bookkeeping, shootdown IPIs).
-	UserNs   float64
-	KernelNs float64
+	UserNs   float64 `json:"user_ns"`
+	KernelNs float64 `json:"kernel_ns"`
 }
 
 // Add accumulates other into c.

@@ -304,11 +304,12 @@ func (m *Machine) residentFrac(s int) float64 {
 	return c / f
 }
 
-// RegionStats summarizes one Parallel region.
+// RegionStats summarizes one Parallel region. The json tags define the
+// stable wire format of serialized kernel traces (analytics.MarshalResult).
 type RegionStats struct {
-	ElapsedNs float64
-	Counters  Counters
-	Threads   int
+	ElapsedNs float64  `json:"elapsed_ns"`
+	Counters  Counters `json:"counters"`
+	Threads   int      `json:"threads"`
 }
 
 // Parallel runs fn on threads virtual threads and advances the wall clock by

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
+	"pmemgraph/internal/frameworks"
+)
+
+// cacheKey builds the exact-result cache key. It covers everything a kernel
+// execution is a function of: the resident graph identity (name + load
+// epoch, so a reloaded graph never aliases its predecessor), the kernel,
+// the profile's engine parameters (engine.Config) and runtime options
+// (core.Options), the resolved per-app parameters, and the machine
+// configuration name. Because the engine is deterministic and results
+// serialize to canonical bytes (analytics.MarshalResult), equal keys imply
+// byte-identical results — a hit is provably the value a re-run would
+// compute. The key leads with "<graph>|<epoch>|" so per-graph invalidation
+// is a prefix match.
+func cacheKey(info GraphInfo, app string, p frameworks.Profile, threads int,
+	cfg engine.Config, opts core.Options, params frameworks.Params, machine string) string {
+	return fmt.Sprintf("%s|%d|%s|%s|t%d|cfg%+v|opt%+v|par%+v|m=%s",
+		info.Name, info.Epoch, app, p.Name, threads, cfg, opts, params, machine)
+}
+
+// graphKeyPrefix returns the prefix shared by every cache key of a graph
+// name (all epochs).
+func graphKeyPrefix(name string) string { return name + "|" }
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Cache is a bounded, concurrency-safe result cache mapping cacheKeys to
+// canonical Result bytes. Eviction is FIFO by insertion order: with
+// deterministic values there is nothing fresher to prefer, and FIFO keeps
+// eviction order independent of request interleaving.
+type Cache struct {
+	mu        sync.Mutex
+	entries   map[string][]byte
+	order     []string
+	max       int
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// DefaultCacheEntries bounds the cache when the server config leaves it 0.
+const DefaultCacheEntries = 1024
+
+// NewCache returns a cache holding at most max entries (0 = default).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{entries: make(map[string][]byte), max: max}
+}
+
+// Get returns the cached bytes for key, counting a hit or miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	val, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return val, ok
+}
+
+// Put stores val under key, evicting the oldest entries past capacity.
+// Storing an existing key overwrites in place (the bytes are identical by
+// construction, so this only refreshes nothing — it keeps Put idempotent
+// when concurrent misses race to fill the same key).
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.bytes += int64(len(val)) - int64(len(old))
+		c.entries[key] = val
+		return
+	}
+	c.entries[key] = val
+	c.order = append(c.order, key)
+	c.bytes += int64(len(val))
+	for len(c.entries) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		if old, ok := c.entries[oldest]; ok {
+			c.bytes -= int64(len(old))
+			delete(c.entries, oldest)
+			c.evictions++
+		}
+	}
+}
+
+// InvalidateGraph drops every entry of the named graph (any epoch); called
+// on eviction so the cache never outlives the data it was computed from,
+// even though epoch-qualified keys already make stale hits impossible.
+func (c *Cache) InvalidateGraph(name string) int {
+	prefix := graphKeyPrefix(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	kept := c.order[:0]
+	for _, key := range c.order {
+		if strings.HasPrefix(key, prefix) {
+			if old, ok := c.entries[key]; ok {
+				c.bytes -= int64(len(old))
+				delete(c.entries, key)
+				dropped++
+			}
+			continue
+		}
+		kept = append(kept, key)
+	}
+	c.order = kept
+	return dropped
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Evictions: c.evictions,
+	}
+}

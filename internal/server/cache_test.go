@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"pmemgraph/internal/frameworks"
+)
+
+func TestCacheGetPutStats(t *testing.T) {
+	c := NewCache(8)
+	if _, ok := c.Get("k"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("k", []byte("value"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "value" {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Racing misses that fill the same key must stay idempotent.
+	c.Put("k", []byte("value"))
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("idempotent Put changed stats: %+v", st)
+	}
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("g%d|1|bfs", i), []byte{byte(i)})
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 3 entries / 2 evictions", st)
+	}
+	if _, ok := c.Get("g0|1|bfs"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Get("g4|1|bfs"); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestCacheInvalidateGraphIsPrefixExact(t *testing.T) {
+	c := NewCache(16)
+	c.Put(graphKeyPrefix("web")+"1|bfs", []byte("a"))
+	c.Put(graphKeyPrefix("web")+"2|cc", []byte("b"))
+	c.Put(graphKeyPrefix("webby")+"1|bfs", []byte("c"))
+	if dropped := c.InvalidateGraph("web"); dropped != 2 {
+		t.Errorf("dropped %d entries, want 2", dropped)
+	}
+	if _, ok := c.Get(graphKeyPrefix("webby") + "1|bfs"); !ok {
+		t.Error("invalidation of \"web\" removed \"webby\" entries")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestCacheKeyCoversExecutionInputs(t *testing.T) {
+	info := GraphInfo{Name: "web", Epoch: 3}
+	galois := frameworks.Galois
+	params := frameworks.Params{Source: 5, Delta: 64, K: 10, Tol: 1e-4, Rounds: 50}
+	base := cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane")
+
+	if again := cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane"); again != base {
+		t.Error("identical inputs produced different keys")
+	}
+	variants := []string{
+		cacheKey(GraphInfo{Name: "other", Epoch: 3}, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane"),
+		cacheKey(GraphInfo{Name: "web", Epoch: 4}, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane"),
+		cacheKey(info, "cc", galois, 8, galois.Engine(), galois.Options("cc", 8), params, "optane"),
+		cacheKey(info, "bfs", galois, 16, galois.Engine(), galois.Options("bfs", 16), params, "optane"),
+		cacheKey(info, "bfs", frameworks.GBBS, 8, frameworks.GBBS.Engine(), frameworks.GBBS.Options("bfs", 8), params, "optane"),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), frameworks.Params{Source: 6, Delta: 64, K: 10, Tol: 1e-4, Rounds: 50}, "optane"),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "dram"),
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collided with another key: %s", i, v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,199 @@
+// Package server is the concurrent analytics serving layer: a long-lived
+// HTTP/JSON service (cmd/pmemserved) that keeps graphs resident in a
+// registry, runs any registered kernel under any frameworks.Profile through
+// a bounded job scheduler, and caches results by exploiting the engine's
+// byte-identical determinism — a cache hit returns exactly the bytes a
+// re-execution would produce, so hits are provably exact rather than
+// approximately fresh. See DESIGN.md "Serving layer".
+package server
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+
+	"pmemgraph/internal/frameworks"
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+)
+
+// graphNameRE restricts registry names so they can be embedded verbatim in
+// cache keys (which use '|' separators) and URL paths.
+var graphNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// GraphInfo describes one resident graph.
+type GraphInfo struct {
+	Name string `json:"name"`
+	// Source records provenance: "gen:<input>@<scale>", "file:<path>" or
+	// "direct" for graphs handed to Add in-process.
+	Source string `json:"source"`
+	Nodes  int    `json:"nodes"`
+	Edges  int64  `json:"edges"`
+	// CSRBytes is the resident CSR footprint (both directions + weights,
+	// since registry graphs are sealed).
+	CSRBytes int64 `json:"csr_bytes"`
+	// Epoch increments on every load, so cache keys from an evicted
+	// graph can never satisfy a lookup against its replacement even if
+	// the same name is reused.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Registry holds the graphs resident in the serving process. Graphs are
+// sealed on load — transpose and edge weights fully materialized — so the
+// many concurrent runtimes built over one graph only ever read it; none of
+// the lazy mutation paths (core.New's BuildIn, RunOn's weight generation)
+// can fire mid-flight.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*residentGraph
+	epoch  uint64
+}
+
+type residentGraph struct {
+	info GraphInfo
+	g    *graph.Graph
+	// params are the deterministic per-graph kernel defaults
+	// (frameworks.DefaultParams), computed once at registration: the
+	// source lookup is an O(V) degree scan that cache-hit-heavy serving
+	// must not repeat per request.
+	params frameworks.Params
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*residentGraph)}
+}
+
+// seal materializes every lazily-built projection of g (edge weights with
+// the frameworks defaults, then the transpose so in-weights exist too).
+// After sealing, HasWeights and HasIn both hold, making every subsequent
+// core.New / RunOn over the graph read-only.
+func seal(g *graph.Graph) {
+	if !g.HasWeights() {
+		g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
+	}
+	g.BuildIn()
+}
+
+// Add registers g under name, sealing it first. It fails on invalid or
+// duplicate names; the duplicate check runs before sealing so a rejected
+// Add neither burns the O(E) materialization nor mutates the caller's
+// graph (two racing Adds of one name may both seal, but only one
+// registers).
+func (r *Registry) Add(name, source string, g *graph.Graph) (GraphInfo, error) {
+	if !graphNameRE.MatchString(name) {
+		return GraphInfo{}, fmt.Errorf("server: invalid graph name %q (want %s)", name, graphNameRE)
+	}
+	dup := func() error {
+		if _, ok := r.graphs[name]; ok {
+			return fmt.Errorf("server: graph %q already loaded (evict it first)", name)
+		}
+		return nil
+	}
+	r.mu.RLock()
+	err := dup()
+	r.mu.RUnlock()
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	seal(g)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := dup(); err != nil {
+		return GraphInfo{}, err
+	}
+	r.epoch++
+	info := GraphInfo{
+		Name:     name,
+		Source:   source,
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		CSRBytes: g.CSRBytes(),
+		Epoch:    r.epoch,
+	}
+	r.graphs[name] = &residentGraph{info: info, g: g, params: frameworks.DefaultParams(g)}
+	return info, nil
+}
+
+// LoadInput generates one of the paper's Table 3 inputs (gen.Input) and
+// registers it under name.
+func (r *Registry) LoadInput(name, input string, scale gen.Scale) (GraphInfo, error) {
+	g, _, err := gen.Input(input, scale)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("server: loading input %q: %w", input, err)
+	}
+	return r.Add(name, fmt.Sprintf("gen:%s@%d", input, scale), g)
+}
+
+// LoadCSRFile reads a serialized CSR binary (graph.ReadCSR, with its
+// hostile-header hardening) and registers it under name.
+func (r *Registry) LoadCSRFile(name, path string) (GraphInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("server: opening CSR file: %w", err)
+	}
+	defer f.Close()
+	g, err := graph.ReadCSR(f)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("server: reading CSR file %s: %w", path, err)
+	}
+	return r.Add(name, "file:"+path, g)
+}
+
+// Get returns the sealed graph registered under name. The returned graph
+// stays valid for the caller even if the name is evicted afterwards (jobs
+// in flight keep their reference; eviction only unregisters).
+func (r *Registry) Get(name string) (*graph.Graph, GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg, ok := r.graphs[name]
+	if !ok {
+		return nil, GraphInfo{}, false
+	}
+	return rg.g, rg.info, true
+}
+
+// Defaults returns the graph's precomputed kernel parameter defaults.
+func (r *Registry) Defaults(name string) (frameworks.Params, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg, ok := r.graphs[name]
+	if !ok {
+		return frameworks.Params{}, false
+	}
+	return rg.params, true
+}
+
+// Evict unregisters name, reporting whether it was present.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.graphs[name]
+	delete(r.graphs, name)
+	return ok
+}
+
+// List returns the resident graphs sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos := make([]GraphInfo, 0, len(r.graphs))
+	for _, rg := range r.graphs {
+		infos = append(infos, rg.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// ResidentBytes sums the CSR footprint of every resident graph.
+func (r *Registry) ResidentBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, rg := range r.graphs {
+		total += rg.info.CSRBytes
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is the lifecycle of one submitted kernel execution.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ErrQueueFull is returned by Submit when the scheduler's queue is at
+// capacity; the HTTP layer maps it to 429 so overload sheds load instead
+// of building an unbounded backlog.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// errSchedulerClosed is returned by Submit after Close.
+var errSchedulerClosed = errors.New("server: scheduler closed")
+
+// Job is one kernel execution moving through the scheduler. Result bytes
+// are the canonical analytics.MarshalResult serialization; identical
+// requests therefore produce identical Result bytes whether they ran or
+// hit the cache.
+type Job struct {
+	ID  string     `json:"id"`
+	Req JobRequest `json:"request"`
+
+	mu        sync.Mutex
+	state     JobState
+	cacheHit  bool
+	errMsg    string
+	result    []byte
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// done is closed once the job reaches JobDone or JobFailed; result
+	// and errMsg are written before the close, so waiters that receive
+	// from done read them race-free.
+	done chan struct{}
+}
+
+// JobStatus is the JSON view of a job's current state.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	State    JobState   `json:"state"`
+	Request  JobRequest `json:"request"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// QueueSeconds and RunSeconds are host wall times (not simulated
+	// time; the simulated duration lives inside the result).
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.ID, State: j.state, Request: j.Req, CacheHit: j.cacheHit, Error: j.errMsg}
+	if !j.started.IsZero() {
+		st.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+	}
+	if !j.finished.IsZero() {
+		st.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}
+
+// Done returns the channel closed on completion.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the canonical result bytes, whether the job hit the
+// cache, and the failure message if the job failed. ok is false until the
+// job completes.
+func (j *Job) Result() (data []byte, cacheHit bool, errMsg string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone && j.state != JobFailed {
+		return nil, false, "", false
+	}
+	return j.result, j.cacheHit, j.errMsg, true
+}
+
+// complete records the outcome and releases waiters.
+func (j *Job) complete(result []byte, cacheHit bool, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+		j.result = result
+		j.cacheHit = cacheHit
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// SchedulerStats reports scheduler load and the concurrency bound audit
+// trail: MaxRunning can never exceed Workers because only the fixed worker
+// goroutines execute jobs, and the conformance suite asserts it.
+type SchedulerStats struct {
+	Workers    int    `json:"workers"`
+	QueueCap   int    `json:"queue_cap"`
+	Queued     int    `json:"queued"`
+	Running    int64  `json:"running"`
+	MaxRunning int64  `json:"max_running"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`
+}
+
+// execFunc runs one job to completion, returning the canonical result
+// bytes and whether they came from the cache.
+type execFunc func(j *Job) (result []byte, cacheHit bool, err error)
+
+// Scheduler bounds kernel concurrency with a fixed worker pool over a
+// bounded queue. The bound is structural — jobs only ever run on the
+// worker goroutines — so no admission race can exceed it.
+type Scheduler struct {
+	exec     execFunc
+	queue    chan *Job
+	workers  int
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	nextID   uint64
+	running  atomic.Int64
+	maxRun   atomic.Int64
+	complete atomic.Uint64
+	failed   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// Defaults applied by NewScheduler when the config leaves them 0.
+const (
+	DefaultWorkers  = 4
+	DefaultQueueCap = 256
+)
+
+// NewScheduler starts workers goroutines draining a queue of queueCap
+// pending jobs (0 picks the defaults).
+func NewScheduler(workers, queueCap int, exec execFunc) *Scheduler {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	s := &Scheduler{exec: exec, queue: make(chan *Job, queueCap), workers: workers}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		n := s.running.Add(1)
+		for {
+			max := s.maxRun.Load()
+			if n <= max || s.maxRun.CompareAndSwap(max, n) {
+				break
+			}
+		}
+		job.mu.Lock()
+		job.state = JobRunning
+		job.started = time.Now()
+		job.mu.Unlock()
+
+		result, cacheHit, err := s.exec(job)
+		job.complete(result, cacheHit, err)
+		if err != nil {
+			s.failed.Add(1)
+		} else {
+			s.complete.Add(1)
+		}
+		s.running.Add(-1)
+	}
+}
+
+// Submit enqueues req and returns the tracking job, or ErrQueueFull /
+// errSchedulerClosed without enqueueing.
+func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errSchedulerClosed
+	}
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Req:       req,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops accepting jobs and waits for queued work to drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	return SchedulerStats{
+		Workers:    s.workers,
+		QueueCap:   cap(s.queue),
+		Queued:     len(s.queue),
+		Running:    s.running.Load(),
+		MaxRunning: s.maxRun.Load(),
+		Completed:  s.complete.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+	}
+}

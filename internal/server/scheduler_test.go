@@ -1,0 +1,151 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerEnforcesConcurrencyBound drives the scheduler with a
+// blocking exec and proves the bound from both sides: all worker slots
+// fill (the pool does not under-schedule) and the number of jobs inside
+// exec never exceeds the worker count (it cannot over-schedule).
+func TestSchedulerEnforcesConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var (
+		mu      sync.Mutex
+		inExec  int
+		maxSeen int
+	)
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	sched := NewScheduler(workers, 64, func(j *Job) ([]byte, bool, error) {
+		mu.Lock()
+		inExec++
+		if inExec > maxSeen {
+			maxSeen = inExec
+		}
+		over := inExec > workers
+		mu.Unlock()
+		if over {
+			t.Errorf("%s: %d jobs in exec, bound is %d", j.ID, inExec, workers)
+		}
+		entered <- struct{}{}
+		<-release
+		mu.Lock()
+		inExec--
+		mu.Unlock()
+		return []byte("{}"), false, nil
+	})
+
+	const jobs = 12
+	submitted := make([]*Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := sched.Submit(JobRequest{App: "bfs"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted = append(submitted, j)
+	}
+	// All worker slots fill while the rest stay queued.
+	for i := 0; i < workers; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d workers started", i, workers)
+		}
+	}
+	if st := sched.Stats(); st.Running != workers {
+		t.Errorf("running = %d, want %d", st.Running, workers)
+	}
+	close(release)
+	for _, j := range submitted {
+		<-j.Done()
+	}
+	sched.Close()
+
+	if maxSeen != workers {
+		t.Errorf("max concurrent = %d, want exactly %d", maxSeen, workers)
+	}
+	st := sched.Stats()
+	if st.MaxRunning != workers {
+		t.Errorf("stats.MaxRunning = %d, want %d", st.MaxRunning, workers)
+	}
+	if st.Completed != jobs || st.Failed != 0 {
+		t.Errorf("completed/failed = %d/%d, want %d/0", st.Completed, st.Failed, jobs)
+	}
+}
+
+func TestSchedulerQueueFullRejects(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	sched := NewScheduler(1, 1, func(j *Job) ([]byte, bool, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return nil, false, nil
+	})
+	defer func() {
+		close(release)
+		sched.Close()
+	}()
+
+	first, err := sched.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // first job occupies the only worker
+	if _, err := sched.Submit(JobRequest{}); err != nil {
+		t.Fatalf("queue slot should hold the second job: %v", err)
+	}
+	if _, err := sched.Submit(JobRequest{}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("third submit = %v, want ErrQueueFull", err)
+	}
+	if st := sched.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+	if _, _, _, ok := first.Result(); ok {
+		t.Error("running job reported a result")
+	}
+}
+
+func TestSchedulerFailureAndClose(t *testing.T) {
+	sched := NewScheduler(2, 8, func(j *Job) ([]byte, bool, error) {
+		if j.Req.App == "boom" {
+			return nil, false, errors.New("kernel exploded")
+		}
+		return []byte(`{"ok":true}`), true, nil
+	})
+	bad, err := sched.Submit(JobRequest{App: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := sched.Submit(JobRequest{App: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bad.Done()
+	<-good.Done()
+
+	if _, _, errMsg, ok := bad.Result(); !ok || errMsg != "kernel exploded" {
+		t.Errorf("failed job result = %q, %v", errMsg, ok)
+	}
+	if st := bad.Status(); st.State != JobFailed {
+		t.Errorf("state = %s, want failed", st.State)
+	}
+	data, cacheHit, errMsg, ok := good.Result()
+	if !ok || errMsg != "" || !cacheHit || string(data) != `{"ok":true}` {
+		t.Errorf("good job result = %q hit=%v err=%q ok=%v", data, cacheHit, errMsg, ok)
+	}
+
+	sched.Close()
+	sched.Close() // idempotent
+	if _, err := sched.Submit(JobRequest{}); err == nil {
+		t.Error("submit after close accepted")
+	}
+	st := sched.Stats()
+	if st.Completed != 1 || st.Failed != 1 {
+		t.Errorf("completed/failed = %d/%d, want 1/1", st.Completed, st.Failed)
+	}
+}

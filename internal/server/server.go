@@ -1,0 +1,582 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pmemgraph/internal/analytics"
+	"pmemgraph/internal/engine"
+	"pmemgraph/internal/frameworks"
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// Config configures a serving instance.
+type Config struct {
+	// Machine is the simulated platform every job runs on. Each job gets
+	// a fresh memsim.Machine from this config, so concurrent jobs never
+	// share simulator state and each result is a pure function of
+	// (graph, request, machine config).
+	Machine memsim.MachineConfig
+	// Workers bounds concurrent kernel executions (0 = DefaultWorkers).
+	Workers int
+	// QueueCap bounds queued jobs; submissions past it get 429
+	// (0 = DefaultQueueCap).
+	QueueCap int
+	// CacheEntries bounds the result cache (0 = DefaultCacheEntries).
+	CacheEntries int
+	// MaxJobs bounds retained job records (0 = DefaultMaxJobs); the
+	// oldest completed jobs are forgotten past it.
+	MaxJobs int
+}
+
+// DefaultMaxJobs bounds the job history when Config.MaxJobs is 0.
+const DefaultMaxJobs = 4096
+
+// JobRequest is the submission body of POST /v1/jobs.
+type JobRequest struct {
+	Graph string `json:"graph"`
+	App   string `json:"app"`
+	// Framework selects the profile by name; empty means Galois (the
+	// paper's recommended configuration).
+	Framework string `json:"framework,omitempty"`
+	// Threads is the virtual thread count (0 = the machine's maximum).
+	Threads int `json:"threads,omitempty"`
+	// Params overrides individual kernel parameters; unset fields take
+	// the deterministic per-graph defaults (frameworks.DefaultParams).
+	Params *ParamOverrides `json:"params,omitempty"`
+	// NoCache bypasses the result cache (the run still executes
+	// deterministically; used to measure cold-path behavior).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// ParamOverrides carries optional per-app parameter overrides; nil fields
+// keep the defaults.
+type ParamOverrides struct {
+	Source *graph.Node `json:"source,omitempty"` // bc, bfs, sssp
+	Delta  *uint32     `json:"delta,omitempty"`  // sssp bucket width
+	K      *int64      `json:"k,omitempty"`      // kcore threshold
+	Tol    *float64    `json:"tol,omitempty"`    // pr tolerance
+	Rounds *int        `json:"rounds,omitempty"` // pr max rounds
+}
+
+// apply folds the overrides into params.
+func (o *ParamOverrides) apply(params *frameworks.Params) {
+	if o == nil {
+		return
+	}
+	if o.Source != nil {
+		params.Source = *o.Source
+	}
+	if o.Delta != nil {
+		params.Delta = *o.Delta
+	}
+	if o.K != nil {
+		params.K = *o.K
+	}
+	if o.Tol != nil {
+		params.Tol = *o.Tol
+	}
+	if o.Rounds != nil {
+		params.Rounds = *o.Rounds
+	}
+}
+
+// Server wires the registry, scheduler and cache behind an http.Handler.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *Cache
+	sched *Scheduler
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string
+
+	// flights coalesces concurrent cache misses on the same key: the
+	// first job runs the kernel, duplicates wait on its completion and
+	// reuse the bytes. Determinism makes this lossless — the waiters
+	// receive exactly what their own execution would have produced.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+	executed atomic.Uint64
+}
+
+// flight is one in-progress kernel execution duplicates can wait on.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// New builds a serving instance over cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   NewCache(cfg.CacheEntries),
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.runJob)
+	return s
+}
+
+// Registry exposes the graph registry (in-process loaders, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close drains the scheduler.
+func (s *Server) Close() { s.sched.Close() }
+
+// defaultThreads resolves a request's thread count.
+func (s *Server) defaultThreads(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return s.cfg.Machine.MaxThreads()
+}
+
+// validate resolves and checks a request against the registry and the
+// profile capability gates, returning everything runJob needs.
+func (s *Server) validate(req JobRequest) (frameworks.Profile, *graph.Graph, GraphInfo, frameworks.Params, int, error) {
+	fw := req.Framework
+	if fw == "" {
+		fw = "Galois"
+	}
+	p, ok := frameworks.ByName(fw)
+	if !ok {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("unknown framework %q", fw)
+	}
+	g, info, ok := s.reg.Get(req.Graph)
+	if !ok {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("graph %q not loaded", req.Graph)
+	}
+	known := false
+	for _, app := range frameworks.Apps() {
+		if app == req.App {
+			known = true
+		}
+	}
+	if !known {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("unknown app %q (have %s)", req.App, strings.Join(frameworks.Apps(), ", "))
+	}
+	if !p.Supports(req.App) {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("%s does not implement %s", p.Name, req.App)
+	}
+	if !p.CanLoad(g) {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("%s cannot load %d nodes (signed 32-bit node IDs)", p.Name, g.NumNodes())
+	}
+	// Defaults are precomputed at registration (an O(V) scan otherwise
+	// paid per request); a miss here means the graph raced an eviction.
+	params, ok := s.reg.Defaults(req.Graph)
+	if !ok {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("graph %q not loaded", req.Graph)
+	}
+	req.Params.apply(&params)
+	if int64(params.Source) >= int64(g.NumNodes()) {
+		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("source %d out of range (graph has %d nodes)", params.Source, g.NumNodes())
+	}
+	return p, g, info, params, s.defaultThreads(req.Threads), nil
+}
+
+// Submit validates req and enqueues it.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	if _, _, _, _, _, err := s.validate(req); err != nil {
+		return nil, err
+	}
+	job, err := s.sched.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	for len(s.jobOrder) > s.cfg.MaxJobs {
+		drop := s.jobOrder[0]
+		if j, ok := s.jobs[drop]; ok {
+			select {
+			case <-j.Done():
+				delete(s.jobs, drop)
+				s.jobOrder = s.jobOrder[1:]
+				continue
+			default:
+			}
+		} else {
+			s.jobOrder = s.jobOrder[1:]
+			continue
+		}
+		break // oldest job still in flight; retain until it completes
+	}
+	s.mu.Unlock()
+	return job, nil
+}
+
+// Job returns the tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one scheduled job: resolve the graph (it may have been
+// evicted since submit), consult the cache, and otherwise run the kernel
+// on a fresh simulated machine and fill the cache with the canonical
+// bytes. Determinism makes the cache exact: the key covers every input of
+// the execution, so the cached bytes are the bytes a re-run would produce.
+// Concurrent misses on one key coalesce — the first runs, the rest wait
+// and reuse its bytes (reported as cache hits: they did not execute, and
+// determinism guarantees the bytes are exactly what they would have
+// computed). A worker waiting on a flight cannot deadlock: the flight's
+// owner runs on another worker and kernels always terminate.
+func (s *Server) runJob(job *Job) ([]byte, bool, error) {
+	req := job.Req
+	p, g, info, params, threads, err := s.validate(req)
+	if err != nil {
+		return nil, false, err
+	}
+	key := cacheKey(info, req.App, p, threads, p.Engine(), p.Options(req.App, threads), params, s.cfg.Machine.Name)
+	var fl *flight
+	if !req.NoCache {
+		if data, ok := s.cache.Get(key); ok {
+			return data, true, nil
+		}
+		s.flightMu.Lock()
+		if waitFor, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			<-waitFor.done
+			if waitFor.err != nil {
+				return nil, false, waitFor.err
+			}
+			return waitFor.data, true, nil
+		}
+		fl = &flight{done: make(chan struct{})}
+		s.flights[key] = fl
+		s.flightMu.Unlock()
+		defer func() {
+			s.flightMu.Lock()
+			delete(s.flights, key)
+			s.flightMu.Unlock()
+			close(fl.done)
+		}()
+	}
+	s.executed.Add(1)
+	m := memsim.NewMachine(s.cfg.Machine)
+	res, err := p.RunOn(m, g, req.App, threads, params)
+	if err != nil {
+		if fl != nil {
+			fl.err = err
+		}
+		return nil, false, err
+	}
+	data, err := analytics.MarshalResult(res)
+	if err != nil {
+		if fl != nil {
+			fl.err = err
+		}
+		return nil, false, err
+	}
+	if fl != nil {
+		s.cache.Put(key, data)
+		fl.data = data
+	}
+	return data, false, nil
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	Graphs struct {
+		Count         int   `json:"count"`
+		ResidentBytes int64 `json:"resident_bytes"`
+	} `json:"graphs"`
+	Cache     CacheStats     `json:"cache"`
+	Scheduler SchedulerStats `json:"scheduler"`
+	// KernelExecutions counts actual kernel runs; completed jobs beyond
+	// it were served by the cache or coalesced onto an in-flight run.
+	KernelExecutions uint64 `json:"kernel_executions"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	var st Stats
+	st.Graphs.Count = len(s.reg.List())
+	st.Graphs.ResidentBytes = s.reg.ResidentBytes()
+	st.Cache = s.cache.Stats()
+	st.Scheduler = s.sched.Stats()
+	st.KernelExecutions = s.executed.Load()
+	return st
+}
+
+// --- HTTP layer ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// loadGraphRequest is the POST /v1/graphs body: exactly one of Input
+// (Table 3 generator name) or Path (serialized CSR file) must be set.
+type loadGraphRequest struct {
+	Name  string `json:"name"`
+	Input string `json:"input,omitempty"`
+	Scale string `json:"scale,omitempty"` // "small" (default) or "full"
+	Path  string `json:"path,omitempty"`
+}
+
+// Handler returns the HTTP API:
+//
+//	GET    /healthz                    liveness
+//	GET    /v1/graphs                  resident graphs
+//	POST   /v1/graphs                  load a Table 3 input or CSR file
+//	DELETE /v1/graphs/{name}           evict (and invalidate cached results)
+//	POST   /v1/jobs                    submit a kernel job (?wait=1 blocks)
+//	GET    /v1/jobs                    job statuses
+//	GET    /v1/jobs/{id}               one job's status
+//	GET    /v1/jobs/{id}/result        canonical Result bytes
+//	GET    /v1/jobs/{id}/trace         per-round trace as a JSON array
+//	GET    /v1/jobs/{id}/trace/stream  per-round trace as NDJSON
+//	GET    /v1/stats                   cache/scheduler/registry counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "machine": s.cfg.Machine.Name})
+	})
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.List())
+	})
+	mux.HandleFunc("POST /v1/graphs", s.handleLoadGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !s.reg.Evict(name) {
+			writeError(w, http.StatusNotFound, "graph %q not loaded", name)
+			return
+		}
+		dropped := s.cache.InvalidateGraph(name)
+		writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "cache_entries_dropped": dropped})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		statuses := make([]JobStatus, 0, len(s.jobOrder))
+		for _, id := range s.jobOrder {
+			if j, ok := s.jobs[id]; ok {
+				statuses = append(statuses, j.Status())
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, statuses)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace/stream", s.handleJobTraceStream)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var req loadGraphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if (req.Input == "") == (req.Path == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of input or path must be set")
+		return
+	}
+	var info GraphInfo
+	var err error
+	if req.Input != "" {
+		scale := gen.ScaleSmall
+		switch req.Scale {
+		case "", "small":
+		case "full":
+			scale = gen.ScaleFull
+		default:
+			writeError(w, http.StatusBadRequest, "unknown scale %q (want small or full)", req.Scale)
+			return
+		}
+		name := req.Name
+		if name == "" {
+			name = req.Input
+		}
+		info, err = s.reg.LoadInput(name, req.Input, scale)
+	} else {
+		if req.Name == "" {
+			writeError(w, http.StatusBadRequest, "name is required when loading from a file")
+			return
+		}
+		info, err = s.reg.LoadCSRFile(req.Name, req.Path)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == ErrQueueFull {
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	wait := false
+	if v := r.URL.Query().Get("wait"); v != "" {
+		// ?wait=1 blocks; explicit false values (0, false) do not.
+		b, err := strconv.ParseBool(v)
+		wait = err != nil || b
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, "client went away while waiting for %s", job.ID)
+		return
+	}
+	s.writeResult(w, job)
+}
+
+// writeResult emits a completed job's canonical result bytes verbatim
+// (they are the cache value and the determinism contract; re-encoding
+// would forfeit byte-identity).
+func (s *Server) writeResult(w http.ResponseWriter, job *Job) {
+	data, cacheHit, errMsg, ok := job.Result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job %s not finished", job.ID)
+		return
+	}
+	if errMsg != "" {
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", job.ID, errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Job-Id", job.ID)
+	if cacheHit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.writeResult(w, j)
+}
+
+// jobTrace decodes a finished job's trace, mapping the job states to the
+// HTTP codes shared by both trace endpoints. Only the trace field is
+// decoded — a stored Result is dominated by its |V|-sized output arrays
+// (dist, rank, ...), which the trace endpoints never serve.
+func (s *Server) jobTrace(w http.ResponseWriter, r *http.Request, wait bool) ([]engine.RoundStat, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return nil, false
+	}
+	if wait {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			return nil, false
+		}
+	}
+	data, _, errMsg, done := j.Result()
+	if !done {
+		writeError(w, http.StatusConflict, "job %s not finished", j.ID)
+		return nil, false
+	}
+	if errMsg != "" {
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", j.ID, errMsg)
+		return nil, false
+	}
+	var res struct {
+		Trace []engine.RoundStat `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		writeError(w, http.StatusInternalServerError, "decoding stored result: %v", err)
+		return nil, false
+	}
+	return res.Trace, true
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	trace, ok := s.jobTrace(w, r, false)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, trace)
+}
+
+// handleJobTraceStream streams the per-round trace as NDJSON, one
+// engine.RoundStat per line, flushing between rounds so clients can render
+// round-by-round progressions incrementally. It waits for the job to
+// finish first (kernels run to completion inside one scheduler slot).
+func (s *Server) handleJobTraceStream(w http.ResponseWriter, r *http.Request) {
+	trace, ok := s.jobTrace(w, r, true)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for i := range trace {
+		line, err := json.Marshal(&trace[i])
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
