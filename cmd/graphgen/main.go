@@ -1,9 +1,12 @@
 // Command graphgen generates one of the paper's scaled input graphs and
-// writes it as a binary CSR file.
+// writes it as a binary CSR file — raw by default, or delta+varint
+// compressed (.csrz, loadable by pmemserved's registry and run by the
+// compressed storage backend) with -csrz.
 //
 // Usage:
 //
 //	graphgen -input clueweb12 -scale small -o clueweb12.csr
+//	graphgen -input clueweb12 -csrz -o clueweb12.csrz
 package main
 
 import (
@@ -19,8 +22,9 @@ import (
 func main() {
 	name := flag.String("input", "clueweb12", "paper input: "+strings.Join(gen.InputNames(), ","))
 	scaleFlag := flag.String("scale", "small", "full or small")
-	out := flag.String("o", "", "output file (default <input>.csr)")
+	out := flag.String("o", "", "output file (default <input>.csr, or <input>.csrz with -csrz)")
 	weights := flag.Uint("weights", 0, "attach random edge weights in [1,N] (0 = unweighted)")
+	csrz := flag.Bool("csrz", false, "write the delta+varint compressed format (.csrz)")
 	flag.Parse()
 
 	scale := gen.ScaleSmall
@@ -38,6 +42,9 @@ func main() {
 	path := *out
 	if path == "" {
 		path = *name + ".csr"
+		if *csrz {
+			path += "z"
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -45,7 +52,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	if err := graph.WriteCSR(f, g); err != nil {
+	write := graph.WriteCSR
+	if *csrz {
+		write = graph.WriteCSRZ
+	}
+	if err := write(f, g); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}

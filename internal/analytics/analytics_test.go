@@ -247,7 +247,7 @@ func TestTCMatchesReference(t *testing.T) {
 		for _, e := range edges {
 			sym = append(sym, e, graph.Edge{Src: e.Dst, Dst: e.Src})
 		}
-		return graph.FromEdges(n, sym, false, true)
+		return graph.MustFromEdges(n, sym, false, true)
 	}
 	cases := map[string]struct {
 		g    *graph.Graph
@@ -276,7 +276,7 @@ func TestTCMatchesBruteForceOnRandom(t *testing.T) {
 			sym = append(sym, graph.Edge{Src: graph.Node(v), Dst: d}, graph.Edge{Src: d, Dst: graph.Node(v)})
 		}
 	}
-	g := graph.FromEdges(base.NumNodes(), sym, false, true)
+	g := graph.MustFromEdges(base.NumNodes(), sym, false, true)
 	want := refTriangles(g)
 	res := TC(testRuntime(t, g, galoisOpts()))
 	if res.Triangles != want {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package analytics
+
+// raceEnabled reports whether the race detector is active; the compressed
+// conformance trims its input set under -race (the invariant is charge
+// determinism, which the detector cannot influence, and the harness runs
+// ~15x slower under it).
+const raceEnabled = false

@@ -44,7 +44,7 @@ type relaxIntent struct {
 // over priorities and sparse lists, outside the bulk-synchronous operator
 // engine (exactly the Galois capabilities §5.1 credits).
 func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
-	if r.Weights == nil {
+	if !r.Weighted() {
 		panic("analytics: SSSPDeltaStep requires a weighted runtime")
 	}
 	if delta == 0 {
@@ -150,7 +150,7 @@ func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 // direction policy; the pull form gathers tentative distances over
 // in-edges (requiring in-weights) when the frontier is edge-heavy.
 func SSSPBellmanFord(r *core.Runtime, cfg engine.Config, src graph.Node) *Result {
-	if r.Weights == nil {
+	if !r.Weighted() {
 		panic("analytics: SSSPBellmanFord requires a weighted runtime")
 	}
 	w := startWindow(r.M)
@@ -193,7 +193,7 @@ func SSSPBellmanFord(r *core.Runtime, cfg engine.Config, src graph.Node) *Result
 			},
 			PerEdge: []engine.Access{{Arr: nextArr, Write: true}},
 		}
-		if e.CanPull() && r.InWeights != nil && r.G.InWeights != nil {
+		if e.CanPull() && r.InWeighted() {
 			cf := f
 			args.Pull = func(v, u graph.Node, ei int64) (bool, bool) {
 				if !cf.Has(u) {

@@ -58,11 +58,12 @@ func TC(r *core.Runtime) *Result {
 	dagEdges := make([]graph.Node, dagOff[n])
 	dagOffArr := r.ScratchArray("tc.dag.offsets", int64(n+1), 8)
 	dagEdgesArr := r.ScratchArray("tc.dag.edges", max64(dagOff[n], 1), 4)
+	outView := r.OutView()
 	r.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
 		r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
 		dagOffArr.WriteRange(t, int64(lo), int64(hi))
 		for v := lo; v < hi; v++ {
-			r.Edges.ReadRange(t, r.G.OutOffsets[v], r.G.OutOffsets[v+1])
+			outView.ChargeScan(t, v, false)
 			rankArr.RandomN(t, r.G.OutDegree(v), false)
 			t.Op(int(r.G.OutDegree(v)))
 			c := dagOff[v]

@@ -50,11 +50,18 @@ func (o Options) record(r Record) {
 // Record is one machine-readable harness result: an experiment's wall time,
 // or one kernel execution's simulated time within a figure.
 type Record struct {
-	Experiment  string  `json:"experiment"`
-	Graph       string  `json:"graph,omitempty"`
-	App         string  `json:"app,omitempty"`
-	Algorithm   string  `json:"algorithm,omitempty"`
-	Framework   string  `json:"framework,omitempty"`
+	Experiment string `json:"experiment"`
+	Graph      string `json:"graph,omitempty"`
+	App        string `json:"app,omitempty"`
+	Algorithm  string `json:"algorithm,omitempty"`
+	Framework  string `json:"framework,omitempty"`
+	// Machine names the simulated platform for experiments that sweep
+	// machines (figCompress); Backend the CSR storage backend
+	// (raw/compressed) and BytesRead the simulated bytes read from the
+	// graph's adjacency arrays, the figCompress comparison metric.
+	Machine     string  `json:"machine,omitempty"`
+	Backend     string  `json:"backend,omitempty"`
+	BytesRead   uint64  `json:"bytes_read,omitempty"`
 	Threads     int     `json:"threads,omitempty"`
 	SimSeconds  float64 `json:"sim_seconds,omitempty"`
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
@@ -137,6 +144,8 @@ var registry = map[string]struct {
 	"table4": {"Table 4: Optane PMM vs Stampede cluster (DM)", Table4},
 	"fig11":  {"Figure 11: cluster/Optane configurations", Figure11},
 	"table5": {"Table 5: GridGraph app-direct vs Galois memory mode", Table5},
+	"figCompress": {"Compressed vs raw CSR backend: traffic and time across tiers",
+		FigCompress},
 }
 
 // Experiments returns the registered experiment names in run order.
@@ -155,6 +164,7 @@ func orderKey(name string) string {
 		"table1": 1, "table2": 2, "table3": 3, "fig4a": 4, "fig4b": 5,
 		"fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9, "fig9": 10,
 		"fig10": 11, "table4": 12, "fig11": 13, "table5": 14,
+		"figCompress": 15,
 	}
 	return fmt.Sprintf("%02d", order[name])
 }

@@ -10,12 +10,13 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	names := Experiments()
-	if len(names) != 14 {
-		t.Fatalf("experiments = %d, want 14 (every table and figure)", len(names))
+	if len(names) != 15 {
+		t.Fatalf("experiments = %d, want 15 (every table and figure plus figCompress)", len(names))
 	}
-	// Paper order.
+	// Paper order, then the repo's own backend study.
 	want := []string{"table1", "table2", "table3", "fig4a", "fig4b", "fig5",
-		"fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "table5"}
+		"fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "table5",
+		"figCompress"}
 	for i, n := range names {
 		if n != want[i] {
 			t.Errorf("experiment[%d] = %s, want %s", i, n, want[i])

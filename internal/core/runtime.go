@@ -22,6 +22,44 @@ import (
 	"pmemgraph/internal/memsim"
 )
 
+// Backend selects the simulated storage representation of the graph's
+// adjacency arrays (see DESIGN.md "Storage backends").
+type Backend int
+
+const (
+	// BackendRaw stores offsets as int64 and edges/weights as parallel
+	// uint32 arrays (the paper's representation).
+	BackendRaw Backend = iota
+	// BackendCompressed stores per-vertex delta+varint byte blocks
+	// (GBBS/Ligra+ style, graph.CompressedCSR): traversals stream fewer
+	// slow-tier bytes but pay an explicit per-edge decode cost
+	// (memsim.CostParams.DecodePerEdge). Kernel results are
+	// byte-identical to the raw backend; only the charging differs.
+	BackendCompressed
+)
+
+// String implements fmt.Stringer (backends appear in serving cache keys).
+func (b Backend) String() string {
+	switch b {
+	case BackendCompressed:
+		return "compressed"
+	default:
+		return "raw"
+	}
+}
+
+// ParseBackend maps a backend's name (or "") to its value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "raw":
+		return BackendRaw, nil
+	case "compressed", "csrz":
+		return BackendCompressed, nil
+	default:
+		return BackendRaw, fmt.Errorf("core: unknown storage backend %q (want raw or compressed)", s)
+	}
+}
+
 // Options configures a Runtime. The zero value is not useful; call
 // GaloisDefaults or a frameworks profile for a ready-made configuration.
 type Options struct {
@@ -49,6 +87,9 @@ type Options struct {
 	// app-direct machine: the uncached-Optane baseline the memory-mode
 	// DRAM cache is compared against.
 	AppDirect bool
+	// Backend selects raw or byte-compressed CSR storage for the
+	// adjacency arrays.
+	Backend Backend
 }
 
 // GaloisDefaults returns the configuration the paper recommends: explicit
@@ -67,12 +108,24 @@ type Runtime struct {
 	M *memsim.Machine
 	G *graph.Graph
 
-	// Simulated allocations mirroring the CSR arrays.
+	// Simulated allocations mirroring the CSR arrays. Under
+	// BackendCompressed, Offsets/InOffsets model the byte-offset arrays,
+	// Edges/InEdges the byte-granular block data, and Weights/InWeights
+	// are nil (weights ride inside the blocks).
 	Offsets, Edges, Weights       *memsim.Array
 	InOffsets, InEdges, InWeights *memsim.Array
 
+	// ZOut/ZIn are the compressed adjacency forms backing Edges/InEdges
+	// when Backend is BackendCompressed; nil otherwise.
+	ZOut, ZIn *graph.CompressedCSR
+
 	opts Options
 	node []*memsim.Array // node arrays allocated through the runtime
+
+	// outView/inView are built once at New: per-vertex scan helpers run
+	// in kernel hot loops, and constructing a view there would box the
+	// adjacency interface on every call.
+	outView, inView AdjView
 }
 
 // New builds a Runtime: it allocates (and warms) the graph's topology
@@ -105,6 +158,30 @@ func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
 	}
 
 	var err error
+	if opts.Backend == BackendCompressed {
+		// Compressed backend: one byte-offset array per direction plus
+		// the byte-granular block data; degrees and weights live inside
+		// the blocks, so no separate edge or weight arrays exist.
+		r.ZOut = g.CompressOut()
+		if r.Offsets, err = alloc("csrz.offsets", n+1, 8); err != nil {
+			return nil, err
+		}
+		if r.Edges, err = alloc("csrz.edges", int64(len(r.ZOut.Data)), 1); err != nil {
+			return nil, err
+		}
+		if opts.BothDirections || g.HasIn() {
+			g.BuildIn()
+			r.ZIn = g.CompressIn()
+			if r.InOffsets, err = alloc("csrz.in.offsets", n+1, 8); err != nil {
+				return nil, err
+			}
+			if r.InEdges, err = alloc("csrz.in.edges", int64(len(r.ZIn.Data)), 1); err != nil {
+				return nil, err
+			}
+		}
+		r.buildViews()
+		return r, nil
+	}
 	if r.Offsets, err = alloc("csr.offsets", n+1, 8); err != nil {
 		return nil, err
 	}
@@ -130,6 +207,7 @@ func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
 			}
 		}
 	}
+	r.buildViews()
 	return r, nil
 }
 
@@ -259,50 +337,172 @@ func clampThreads(r *Runtime) int {
 	return threads
 }
 
+// AdjView bundles one direction's adjacency view (raw slices or
+// compressed byte blocks) with the simulated arrays its traversal
+// charges. The operator engine and the asynchronous kernels go through
+// this seam, so traversal code is identical under both storage backends
+// and only the charging (raw element ranges vs compressed byte ranges
+// plus decode cost) differs.
+type AdjView struct {
+	Adj     graph.Adjacency
+	Offsets *memsim.Array
+	Edges   *memsim.Array // uint32 edge elements (raw) or block bytes (compressed)
+	Weights *memsim.Array // raw weighted runtimes only; weights ride in compressed blocks
+	Z       bool
+}
+
+// buildViews caches both directions' views once the arrays exist.
+func (r *Runtime) buildViews() {
+	if r.opts.Backend == BackendCompressed {
+		r.outView = AdjView{Adj: r.ZOut, Offsets: r.Offsets, Edges: r.Edges, Z: true}
+	} else {
+		r.outView = AdjView{Adj: r.G.RawOut(), Offsets: r.Offsets, Edges: r.Edges, Weights: r.Weights}
+	}
+	if r.InOffsets == nil {
+		r.inView = AdjView{}
+	} else if r.opts.Backend == BackendCompressed {
+		r.inView = AdjView{Adj: r.ZIn, Offsets: r.InOffsets, Edges: r.InEdges, Z: true}
+	} else {
+		r.inView = AdjView{Adj: r.G.RawIn(), Offsets: r.InOffsets, Edges: r.InEdges, Weights: r.InWeights}
+	}
+}
+
+// OutView returns the out-direction view.
+func (r *Runtime) OutView() AdjView { return r.outView }
+
+// InView returns the in-direction view; Valid reports false when the
+// runtime holds no transpose.
+func (r *Runtime) InView() AdjView { return r.inView }
+
+// Valid reports whether the view's direction is allocated.
+func (av AdjView) Valid() bool { return av.Adj != nil }
+
+// ChargeScan charges streaming v's whole adjacency block: the raw edge
+// (and, if weighted, weight) elements, or the compressed bytes plus the
+// per-edge decode cost. Offsets are charged by the caller (gathered per
+// chunk or streamed per shard).
+func (av AdjView) ChargeScan(t *memsim.Thread, v graph.Node, weighted bool) {
+	lo, hi := av.Adj.Extent(v)
+	av.Edges.ReadRange(t, lo, hi)
+	if av.Z {
+		t.Decode(1, av.Adj.Degree(v))
+		return
+	}
+	if weighted && av.Weights != nil {
+		av.Weights.ReadRange(t, lo, hi)
+	}
+}
+
+// ChargePrefix charges an early-exited scan of v's block that consumed
+// `consumed` backing elements (a Cursor's Consumed value) covering k
+// edges.
+func (av AdjView) ChargePrefix(t *memsim.Thread, v graph.Node, consumed, k int64) {
+	lo, _ := av.Adj.Extent(v)
+	av.Edges.ReadRange(t, lo, lo+consumed)
+	if av.Z {
+		t.Decode(1, k)
+	}
+}
+
+// ChargeBlock charges one batched scan of the offsets plus every
+// adjacency block of the contiguous vertex range [lo, hi): the chunked
+// equivalent of ChargeScan per vertex, in two sequential range reads.
+func (av AdjView) ChargeBlock(t *memsim.Thread, lo, hi graph.Node, weighted bool) {
+	if hi <= lo {
+		return
+	}
+	av.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+	elo, ehi := av.Adj.ExtentRange(lo, hi)
+	av.Edges.ReadRange(t, elo, ehi)
+	if av.Z {
+		t.Decode(int64(hi-lo), av.Adj.Base(hi)-av.Adj.Base(lo))
+		return
+	}
+	if weighted && av.Weights != nil {
+		av.Weights.ReadRange(t, elo, ehi)
+	}
+}
+
+// Weighted reports whether edge weights are available to kernels on this
+// runtime (as a parallel array on the raw backend, interleaved in the
+// blocks on the compressed one).
+func (r *Runtime) Weighted() bool {
+	if r.opts.Backend == BackendCompressed {
+		return r.opts.Weighted && r.G.HasWeights()
+	}
+	return r.Weights != nil
+}
+
+// InWeighted is Weighted for the transpose direction.
+func (r *Runtime) InWeighted() bool {
+	if r.InOffsets == nil || r.G.InWeights == nil {
+		return false
+	}
+	if r.opts.Backend == BackendCompressed {
+		return r.opts.Weighted
+	}
+	return r.InWeights != nil
+}
+
 // OutScan charges the reads that visiting v's out-edges performs (offset
-// pair, edge list, and weights if requested) and returns the neighbor
-// slice.
+// pair, adjacency block, and weights if requested) and returns the
+// neighbor slice (always the raw alias; under the compressed backend the
+// charge covers block bytes plus decode).
 func (r *Runtime) OutScan(t *memsim.Thread, v graph.Node, weights bool) []graph.Node {
 	r.Offsets.ReadN(t, int64(v), 2)
-	lo, hi := r.G.OutOffsets[v], r.G.OutOffsets[v+1]
-	r.Edges.ReadRange(t, lo, hi)
-	if weights && r.Weights != nil {
-		r.Weights.ReadRange(t, lo, hi)
-	}
-	return r.G.OutEdges[lo:hi]
+	r.OutView().ChargeScan(t, v, weights)
+	return r.G.OutEdges[r.G.OutOffsets[v]:r.G.OutOffsets[v+1]]
 }
 
 // InScan is OutScan for the in-direction; the transpose must be allocated.
 func (r *Runtime) InScan(t *memsim.Thread, v graph.Node, weights bool) []graph.Node {
 	r.InOffsets.ReadN(t, int64(v), 2)
-	lo, hi := r.G.InOffsets[v], r.G.InOffsets[v+1]
-	r.InEdges.ReadRange(t, lo, hi)
-	if weights && r.InWeights != nil {
-		r.InWeights.ReadRange(t, lo, hi)
+	r.InView().ChargeScan(t, v, weights)
+	return r.G.InEdges[r.G.InOffsets[v]:r.G.InOffsets[v+1]]
+}
+
+// scanPrefix charges reads for only the first k neighbors of v in av's
+// direction. The compressed form charges the byte prefix those edges
+// decode from (proportional, rounded up — prefix byte extents are not
+// materialized) plus their decode cost.
+func scanPrefix(av AdjView, t *memsim.Thread, v graph.Node, k int64) {
+	deg := av.Adj.Degree(v)
+	if k > deg {
+		k = deg
 	}
-	return r.G.InEdges[lo:hi]
+	lo, hi := av.Adj.Extent(v)
+	if !av.Z {
+		av.Edges.ReadRange(t, lo, lo+k)
+		return
+	}
+	consumed := hi - lo
+	if deg > 0 && k < deg {
+		consumed = (consumed*k + deg - 1) / deg
+	}
+	av.Edges.ReadRange(t, lo, lo+consumed)
+	t.Decode(1, k)
 }
 
 // OutScanPrefix charges reads for only the first k out-neighbors of v
 // (early-exit scans, e.g. direction-optimizing pull).
 func (r *Runtime) OutScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.Node {
 	r.Offsets.ReadN(t, int64(v), 2)
+	scanPrefix(r.OutView(), t, v, k)
 	lo, hi := r.G.OutOffsets[v], r.G.OutOffsets[v+1]
 	if lo+k < hi {
 		hi = lo + k
 	}
-	r.Edges.ReadRange(t, lo, hi)
 	return r.G.OutEdges[lo:hi]
 }
 
 // InScanPrefix charges reads for only the first k in-neighbors of v.
 func (r *Runtime) InScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.Node {
 	r.InOffsets.ReadN(t, int64(v), 2)
+	scanPrefix(r.InView(), t, v, k)
 	lo, hi := r.G.InOffsets[v], r.G.InOffsets[v+1]
 	if lo+k < hi {
 		hi = lo + k
 	}
-	r.InEdges.ReadRange(t, lo, hi)
 	return r.G.InEdges[lo:hi]
 }
 
@@ -311,29 +511,29 @@ func (r *Runtime) InScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.
 // range [lo, hi): the chunked equivalent of calling OutScan once per
 // vertex, in two sequential range reads instead of 2·(hi-lo) calls.
 func (r *Runtime) ChargeOutBlock(t *memsim.Thread, lo, hi graph.Node, weights bool) {
-	if hi <= lo {
-		return
-	}
-	r.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
-	elo, ehi := r.G.OutOffsets[lo], r.G.OutOffsets[hi]
-	r.Edges.ReadRange(t, elo, ehi)
-	if weights && r.Weights != nil {
-		r.Weights.ReadRange(t, elo, ehi)
-	}
+	r.OutView().ChargeBlock(t, lo, hi, weights)
 }
 
 // ChargeInBlock is ChargeOutBlock for the in-direction; the transpose
 // must be allocated.
 func (r *Runtime) ChargeInBlock(t *memsim.Thread, lo, hi graph.Node, weights bool) {
-	if hi <= lo {
-		return
+	r.InView().ChargeBlock(t, lo, hi, weights)
+}
+
+// TopologyReadBytes returns the simulated bytes read so far from the
+// graph's adjacency arrays (offsets, edges, weights, both directions) —
+// the slow-tier CSR stream the compressed backend exists to shrink.
+// Per-vertex label arrays are excluded: their gathers are the same under
+// both backends.
+func (r *Runtime) TopologyReadBytes() uint64 {
+	var total uint64
+	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights} {
+		if a != nil {
+			read, _ := a.Traffic()
+			total += read
+		}
 	}
-	r.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
-	elo, ehi := r.G.InOffsets[lo], r.G.InOffsets[hi]
-	r.InEdges.ReadRange(t, elo, ehi)
-	if weights && r.InWeights != nil {
-		r.InWeights.ReadRange(t, elo, ehi)
-	}
+	return total
 }
 
 // FootprintBytes reports the simulated bytes allocated for the graph's

@@ -142,7 +142,7 @@ func TestDistCCFindsComponents(t *testing.T) {
 		}
 		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node(next)})
 	}
-	g := graph.FromEdges(100, edges, false, false)
+	g := graph.MustFromEdges(100, edges, false, false)
 	e := testEngine(t, g, 3)
 	res := e.CC()
 	for v := 0; v < 50; v++ {

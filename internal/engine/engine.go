@@ -116,6 +116,13 @@ type Engine struct {
 	R   *core.Runtime
 	cfg Config
 
+	// out/in are the runtime's adjacency views: all neighborhood
+	// iteration goes through their graph.Adjacency (raw slices or
+	// compressed blocks decoded by a zero-allocation Cursor) and all
+	// edge-traffic charging through their arrays, so the engine is
+	// storage-backend agnostic.
+	out, in core.AdjView
+
 	bits     *memsim.Array // current dense frontier bits
 	nextBits *memsim.Array // next-frontier activation scatter target
 	wl       *memsim.Array // sparse worklist storage
@@ -161,6 +168,8 @@ func New(r *core.Runtime, cfg Config) *Engine {
 	return &Engine{
 		R:        r,
 		cfg:      cfg,
+		out:      r.OutView(),
+		in:       r.InView(),
 		bits:     r.ScratchArray("engine.frontier.bits", words, 8),
 		nextBits: r.ScratchArray("engine.next.bits", words, 8),
 		wl:       r.ScratchArray("engine.wl", n, 4),
@@ -178,7 +187,7 @@ func (e *Engine) Rounds() int { return e.rounds }
 func (e *Engine) Trace() []RoundStat { return e.trace }
 
 // CanPull reports whether pull traversal is possible (transpose present).
-func (e *Engine) CanPull() bool { return e.R.InOffsets != nil }
+func (e *Engine) CanPull() bool { return e.in.Valid() }
 
 func (e *Engine) wantDense(count, outEdges int64) bool {
 	switch e.cfg.Rep {
@@ -425,14 +434,14 @@ func (e *Engine) pushDense(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 		if f.count == n {
 			// Full frontier: every edge in the shard is scanned, so
 			// charge offsets and edges as contiguous blocks.
-			e.R.ChargeOutBlock(t, lo, hi, args.Weighted)
+			e.out.ChargeBlock(t, lo, hi, args.Weighted)
 			if args.Symmetric {
-				e.R.ChargeInBlock(t, lo, hi, args.Weighted)
+				e.in.ChargeBlock(t, lo, hi, args.Weighted)
 			}
 		} else {
-			e.R.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+			e.out.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
 			if args.Symmetric {
-				e.R.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+				e.in.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
 			}
 		}
 		var chunkVerts, chunkEdges int64
@@ -457,31 +466,40 @@ func (e *Engine) scanPush(t *memsim.Thread, u graph.Node, args *EdgeMapArgs, act
 }
 
 func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapArgs, activate func(graph.Node), chargeEdges bool) int64 {
-	g := e.R.G
-	lo, hi := g.OutOffsets[u], g.OutOffsets[u+1]
 	if chargeEdges {
-		e.R.Edges.ReadRange(t, lo, hi)
-		if args.Weighted && e.R.Weights != nil {
-			e.R.Weights.ReadRange(t, lo, hi)
-		}
+		e.out.ChargeScan(t, u, args.Weighted)
 	}
-	edges := hi - lo
-	for ei := lo; ei < hi; ei++ {
-		if args.Push(u, g.OutEdges[ei], ei) {
-			activate(g.OutEdges[ei])
+	base := e.out.Adj.Base(u)
+	cur := e.out.Adj.Cursor(u)
+	edges := int64(0)
+	for {
+		d, ok := cur.Next()
+		if !ok {
+			break
 		}
+		if args.Push(u, d, base+edges) {
+			activate(d)
+		}
+		edges++
 	}
 	if args.Symmetric {
-		ilo, ihi := g.InOffsets[u], g.InOffsets[u+1]
 		if chargeEdges {
-			e.R.InEdges.ReadRange(t, ilo, ihi)
+			e.in.ChargeScan(t, u, false)
 		}
-		edges += ihi - ilo
-		for ei := ilo; ei < ihi; ei++ {
-			if args.Push(u, g.InEdges[ei], ei) {
-				activate(g.InEdges[ei])
+		ibase := e.in.Adj.Base(u)
+		icur := e.in.Adj.Cursor(u)
+		k := int64(0)
+		for {
+			d, ok := icur.Next()
+			if !ok {
+				break
 			}
+			if args.Push(u, d, ibase+k) {
+				activate(d)
+			}
+			k++
 		}
+		edges += k
 	}
 	return edges
 }
@@ -492,9 +510,9 @@ func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapAr
 // per-vertex operator accesses.
 func (e *Engine) chargePushChunk(t *memsim.Thread, args *EdgeMapArgs, verts, edges int64, offsetGather bool) {
 	if offsetGather {
-		e.R.Offsets.RandomN(t, verts, false)
+		e.out.Offsets.RandomN(t, verts, false)
 		if args.Symmetric {
-			e.R.InOffsets.RandomN(t, verts, false)
+			e.in.Offsets.RandomN(t, verts, false)
 		}
 	}
 	for _, a := range args.PerEdge {
@@ -527,14 +545,14 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 			arr.WriteRange(t, int64(lo), int64(hi))
 		}
 		if whole {
-			e.R.ChargeInBlock(t, lo, hi, args.Weighted)
+			e.in.ChargeBlock(t, lo, hi, args.Weighted)
 			if args.Symmetric {
-				e.R.ChargeOutBlock(t, lo, hi, args.Weighted)
+				e.out.ChargeBlock(t, lo, hi, args.Weighted)
 			}
 		} else {
-			e.R.InOffsets.ReadRange(t, int64(lo), int64(hi)+1)
+			e.in.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
 			if args.Symmetric {
-				e.R.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
+				e.out.Offsets.ReadRange(t, int64(lo), int64(hi)+1)
 			}
 		}
 		var chunkVerts, chunkScanned, activated, nextOut int64
@@ -545,11 +563,16 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 			chunkVerts++
 			active := false
 			stopped := false
-			ilo, ihi := g.InOffsets[v], g.InOffsets[v+1]
+			ibase := e.in.Adj.Base(v)
+			icur := e.in.Adj.Cursor(v)
 			scanned := int64(0)
-			for ei := ilo; ei < ihi; ei++ {
+			for {
+				u, ok := icur.Next()
+				if !ok {
+					break
+				}
+				a, stop := args.Pull(v, u, ibase+scanned)
 				scanned++
-				a, stop := args.Pull(v, g.InEdges[ei], ei)
 				active = active || a
 				if stop {
 					stopped = true
@@ -557,22 +580,27 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 				}
 			}
 			if !whole {
-				e.R.InEdges.ReadRange(t, ilo, ilo+scanned)
+				e.in.ChargePrefix(t, v, icur.Consumed(), scanned)
 			}
 			chunkScanned += scanned
 			if args.Symmetric && !stopped {
-				olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
+				obase := e.out.Adj.Base(v)
+				ocur := e.out.Adj.Cursor(v)
 				oscanned := int64(0)
-				for ei := olo; ei < ohi; ei++ {
+				for {
+					u, ok := ocur.Next()
+					if !ok {
+						break
+					}
+					a, stop := args.Pull(v, u, obase+oscanned)
 					oscanned++
-					a, stop := args.Pull(v, g.OutEdges[ei], ei)
 					active = active || a
 					if stop {
 						break
 					}
 				}
 				if !whole {
-					e.R.Edges.ReadRange(t, olo, olo+oscanned)
+					e.out.ChargePrefix(t, v, ocur.Consumed(), oscanned)
 				}
 				chunkScanned += oscanned
 			}

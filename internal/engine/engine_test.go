@@ -17,7 +17,7 @@ func testGraph(n int) *graph.Graph {
 		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node(i + 1)})
 		edges = append(edges, graph.Edge{Src: 0, Dst: graph.Node(i + 1)})
 	}
-	return graph.FromEdges(n, edges, false, true)
+	return graph.MustFromEdges(n, edges, false, true)
 }
 
 func testEngine(t *testing.T, g *graph.Graph, cfg Config, bothDirs bool) *Engine {
@@ -173,7 +173,7 @@ func TestEdgeMapAutoConvertsRepresentation(t *testing.T) {
 func TestEdgeMapSymmetricReachesPredecessors(t *testing.T) {
 	// Directed path 0->1->2: a symmetric push from {1} must activate
 	// both 0 and 2.
-	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false, false)
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false, false)
 	e := testEngine(t, g, Config{Rep: RepSparse, Dir: DirPush}, true)
 	var hit [3]atomic.Bool
 	f := e.NewFrontier(1)

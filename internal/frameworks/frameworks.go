@@ -298,7 +298,23 @@ func (p Profile) Run(r *core.Runtime, app string, params Params) (*analytics.Res
 // RunOn is the convenience wrapper used by the harness: build a runtime on
 // m for (p, app), execute, and close it.
 func (p Profile) RunOn(m *memsim.Machine, g *graph.Graph, app string, threads int, params Params) (*analytics.Result, error) {
+	return p.RunOnBackend(m, g, app, threads, params, core.BackendRaw)
+}
+
+// RunOnBackend is RunOn with an explicit storage-backend selection for the
+// CSR arrays (the serving layer chooses per job). Kernel results are
+// byte-identical across backends; only simulated traffic and time differ.
+func (p Profile) RunOnBackend(m *memsim.Machine, g *graph.Graph, app string, threads int, params Params, backend core.Backend) (*analytics.Result, error) {
 	opts := p.Options(app, threads)
+	opts.Backend = backend
+	return p.RunOnOpts(m, g, app, opts, params)
+}
+
+// RunOnOpts executes app over explicit runtime options. Callers that also
+// derive something else from the options (the serving layer's cache key)
+// use this so the executed configuration and the derived one cannot
+// drift; opts should come from p.Options plus deliberate overrides.
+func (p Profile) RunOnOpts(m *memsim.Machine, g *graph.Graph, app string, opts core.Options, params Params) (*analytics.Result, error) {
 	if opts.Weighted && !g.HasWeights() {
 		g.AddRandomWeights(DefaultWeightMax, DefaultWeightSeed)
 	}

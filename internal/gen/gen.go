@@ -78,7 +78,7 @@ func RMAT(scale int, edgeFactor int, a, b, c float64, seed uint64, symmetrize bo
 			edges = append(edges, graph.Edge{Src: graph.Node(dst), Dst: graph.Node(src)})
 		}
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // Kron generates a Kronecker-style scale-free graph: RMAT recursion with
@@ -174,7 +174,7 @@ func WebCrawl(n int, avgDeg int, maxDepth int, seed uint64) *graph.Graph {
 			edges = append(edges, graph.Edge{Src: graph.Node(src), Dst: graph.Node(dst)})
 		}
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // Protein generates a protein-similarity-network stand-in (iso_m100): very
@@ -229,7 +229,7 @@ func Protein(n int, avgDeg int, clusters int, seed uint64) *graph.Graph {
 			}
 		}
 	}
-	return graph.FromEdges(n, edges, false, true)
+	return graph.MustFromEdges(n, edges, false, true)
 }
 
 // powerLawDegree draws an out-degree with mean roughly avg and a heavy
@@ -315,7 +315,7 @@ func Path(n int) *graph.Graph {
 	for i := 0; i < n-1; i++ {
 		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node(i + 1)})
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // Cycle returns a directed cycle on n nodes.
@@ -324,7 +324,7 @@ func Cycle(n int) *graph.Graph {
 	for i := 0; i < n; i++ {
 		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node((i + 1) % n)})
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // Star returns a star with node 0 at the center and spokes in both
@@ -336,7 +336,7 @@ func Star(n int) *graph.Graph {
 			graph.Edge{Src: 0, Dst: graph.Node(i)},
 			graph.Edge{Src: graph.Node(i), Dst: 0})
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // Complete returns the complete directed graph on n nodes (no self loops).
@@ -349,7 +349,7 @@ func Complete(n int) *graph.Graph {
 			}
 		}
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // Grid returns a rows x cols grid with bidirectional edges between
@@ -367,7 +367,7 @@ func Grid(rows, cols int) *graph.Graph {
 			}
 		}
 	}
-	return graph.FromEdges(rows*cols, edges, false, false)
+	return graph.MustFromEdges(rows*cols, edges, false, false)
 }
 
 // ErdosRenyi returns a uniform random directed graph with n nodes and m
@@ -394,7 +394,7 @@ func ErdosRenyi(n int, m int, seed uint64) *graph.Graph {
 		seen[key] = true
 		edges = append(edges, graph.Edge{Src: graph.Node(s), Dst: graph.Node(d)})
 	}
-	return graph.FromEdges(n, edges, false, false)
+	return graph.MustFromEdges(n, edges, false, false)
 }
 
 // SortNodesByDegreeDesc returns node IDs sorted by descending out-degree

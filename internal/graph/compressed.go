@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// This file implements the byte-compressed CSR storage backend: per-vertex
+// neighbor blocks holding delta-encoded, varint-packed node IDs
+// (GBBS/Ligra+ style). On the paper's machines analytics are bandwidth
+// bound — kernels pay for every byte streamed from the slow tier — so a
+// smaller adjacency representation trades cheap decode compute for scarce
+// memory bandwidth. The engine charges memsim for the compressed bytes a
+// traversal streams plus an explicit per-edge decode cost
+// (memsim.CostParams.DecodePerEdge/DecodePerVertex), which keeps that
+// trade-off honest.
+//
+// Block layout for vertex v (all varints are unsigned LEB128):
+//
+//	degree  uvarint
+//	first   zigzag(neighbor[0] - v)
+//	[weight uvarint]                    (weighted graphs interleave)
+//	delta   zigzag(neighbor[i] - neighbor[i-1])   for i >= 1
+//	[weight uvarint]
+//
+// Deltas are zigzag-signed so any neighbor order round-trips exactly;
+// the sorted adjacency the generators produce compresses best. Weights
+// are interleaved with the deltas (as in GBBS) so an early-exited scan
+// consumes a contiguous prefix of the block.
+
+// Adjacency is a read-only view over one direction of a graph's adjacency,
+// implemented by both the raw CSR slices (RawAdjacency) and the compressed
+// form (CompressedCSR). The operator engine traverses through this
+// interface; per-edge iteration goes through the concrete Cursor type so
+// the hot loop stays free of interface calls and allocations.
+type Adjacency interface {
+	NumNodes() int
+	NumEdges() int64
+	Degree(v Node) int64
+	// Base returns the global index of v's first edge, shared by both
+	// forms so operator edge indices (ei) are backend-independent. It
+	// accepts v == NumNodes() (the one-past-the-end base).
+	Base(v Node) int64
+	// Extent returns v's block range in backing elements — edge indices
+	// for the raw form, byte offsets for the compressed form — for
+	// charging streamed reads of the block.
+	Extent(v Node) (lo, hi int64)
+	// ExtentRange is Extent over the contiguous vertex range [lo, hi).
+	ExtentRange(lo, hi Node) (int64, int64)
+	// Cursor returns a zero-allocation iterator over v's neighbors.
+	Cursor(v Node) Cursor
+	// Compressed reports whether backing elements are compressed bytes.
+	Compressed() bool
+}
+
+// Cursor iterates one vertex's neighbors without allocating; it is
+// returned by value and handles both adjacency forms.
+type Cursor struct {
+	// Raw form: a window over the edge slice.
+	nbrs []Node
+	i    int
+
+	// Compressed form: a varint decoder over the vertex's block.
+	data     []byte
+	pos      int
+	prev     int64
+	rem      int64
+	weighted bool
+}
+
+// Next returns the next neighbor, or ok=false at the end of the block.
+func (c *Cursor) Next() (Node, bool) {
+	if c.data == nil {
+		if c.i >= len(c.nbrs) {
+			return 0, false
+		}
+		d := c.nbrs[c.i]
+		c.i++
+		return d, true
+	}
+	if c.rem <= 0 {
+		return 0, false
+	}
+	u, n := binary.Uvarint(c.data[c.pos:])
+	c.pos += n
+	c.prev += unzigzag(u)
+	if c.weighted {
+		_, wn := binary.Uvarint(c.data[c.pos:])
+		c.pos += wn
+	}
+	c.rem--
+	return Node(c.prev), true
+}
+
+// Consumed returns the backing elements consumed so far — edges for the
+// raw form, bytes for the compressed form — so early-exited scans can
+// charge exactly the prefix they streamed.
+func (c *Cursor) Consumed() int64 {
+	if c.data == nil {
+		return int64(c.i)
+	}
+	return int64(c.pos)
+}
+
+// RawAdjacency adapts one direction's raw CSR slices to Adjacency.
+type RawAdjacency struct {
+	Offsets []int64
+	Edges   []Node
+}
+
+// RawOut returns the out-direction raw adjacency view.
+func (g *Graph) RawOut() RawAdjacency {
+	return RawAdjacency{Offsets: g.OutOffsets, Edges: g.OutEdges}
+}
+
+// RawIn returns the in-direction raw adjacency view; BuildIn must have
+// been called.
+func (g *Graph) RawIn() RawAdjacency {
+	return RawAdjacency{Offsets: g.InOffsets, Edges: g.InEdges}
+}
+
+func (a RawAdjacency) NumNodes() int          { return len(a.Offsets) - 1 }
+func (a RawAdjacency) NumEdges() int64        { return int64(len(a.Edges)) }
+func (a RawAdjacency) Degree(v Node) int64    { return a.Offsets[v+1] - a.Offsets[v] }
+func (a RawAdjacency) Base(v Node) int64      { return a.Offsets[v] }
+func (a RawAdjacency) Compressed() bool       { return false }
+func (a RawAdjacency) Extent(v Node) (int64, int64) {
+	return a.Offsets[v], a.Offsets[v+1]
+}
+func (a RawAdjacency) ExtentRange(lo, hi Node) (int64, int64) {
+	return a.Offsets[lo], a.Offsets[hi]
+}
+func (a RawAdjacency) Cursor(v Node) Cursor {
+	return Cursor{nbrs: a.Edges[a.Offsets[v]:a.Offsets[v+1]]}
+}
+
+// CompressedCSR is one direction's adjacency in delta+varint block form.
+// EdgeOffsets mirrors the raw offsets array (edge-index bases, host-side
+// bookkeeping for backend-independent edge indices); the simulated storage
+// the backend models is ByteOffsets plus Data — see Bytes.
+type CompressedCSR struct {
+	n        int
+	edges    int64
+	weighted bool
+
+	// EdgeOffsets has length n+1; vertex v covers global edge indices
+	// [EdgeOffsets[v], EdgeOffsets[v+1]).
+	EdgeOffsets []int64
+	// ByteOffsets has length n+1; vertex v's block is
+	// Data[ByteOffsets[v]:ByteOffsets[v+1]].
+	ByteOffsets []int64
+	Data        []byte
+}
+
+func (z *CompressedCSR) NumNodes() int       { return z.n }
+func (z *CompressedCSR) NumEdges() int64     { return z.edges }
+func (z *CompressedCSR) Weighted() bool      { return z.weighted }
+func (z *CompressedCSR) Compressed() bool    { return true }
+func (z *CompressedCSR) Degree(v Node) int64 { return z.EdgeOffsets[v+1] - z.EdgeOffsets[v] }
+func (z *CompressedCSR) Base(v Node) int64   { return z.EdgeOffsets[v] }
+func (z *CompressedCSR) Extent(v Node) (int64, int64) {
+	return z.ByteOffsets[v], z.ByteOffsets[v+1]
+}
+func (z *CompressedCSR) ExtentRange(lo, hi Node) (int64, int64) {
+	return z.ByteOffsets[lo], z.ByteOffsets[hi]
+}
+
+// Bytes returns the simulated storage footprint of this direction: the
+// byte-offset array plus the block data (degrees live in the blocks;
+// weights, when present, are interleaved with the deltas).
+func (z *CompressedCSR) Bytes() int64 {
+	return int64(z.n+1)*8 + int64(len(z.Data))
+}
+
+// Cursor returns a decoder positioned after v's degree varint.
+func (z *CompressedCSR) Cursor(v Node) Cursor {
+	block := z.Data[z.ByteOffsets[v]:z.ByteOffsets[v+1]]
+	c := Cursor{data: block, prev: int64(v), weighted: z.weighted}
+	deg, n := binary.Uvarint(block)
+	c.pos = n
+	c.rem = int64(deg)
+	return c
+}
+
+func zigzag(d int64) uint64   { return uint64((d << 1) ^ (d >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// compressAdjacency encodes one direction. weights may be nil.
+func compressAdjacency(n int, offsets []int64, edges []Node, weights []uint32) *CompressedCSR {
+	// Typical blocks: 1 degree byte + ~1-2 bytes per sorted delta.
+	buf := make([]byte, 0, int64(n)+2*int64(len(edges)))
+	byteOffs := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		buf = binary.AppendUvarint(buf, uint64(hi-lo))
+		prev := int64(v)
+		for i := lo; i < hi; i++ {
+			d := int64(edges[i])
+			buf = binary.AppendUvarint(buf, zigzag(d-prev))
+			prev = d
+			if weights != nil {
+				buf = binary.AppendUvarint(buf, uint64(weights[i]))
+			}
+		}
+		byteOffs[v+1] = int64(len(buf))
+	}
+	return &CompressedCSR{
+		n:           n,
+		edges:       int64(len(edges)),
+		weighted:    weights != nil,
+		EdgeOffsets: offsets,
+		ByteOffsets: byteOffs,
+		Data:        buf,
+	}
+}
+
+// CompressOut returns the out-direction's compressed form, encoding it on
+// first use and caching it on the graph (invalidated by AddRandomWeights).
+// Safe for concurrent callers over a sealed graph.
+func (g *Graph) CompressOut() *CompressedCSR {
+	g.zmu.Lock()
+	defer g.zmu.Unlock()
+	if g.zOut == nil {
+		g.zOut = compressAdjacency(g.NumNodes(), g.OutOffsets, g.OutEdges, g.OutWeights)
+	}
+	return g.zOut
+}
+
+// CompressIn is CompressOut for the transpose; BuildIn must have been
+// called.
+func (g *Graph) CompressIn() *CompressedCSR {
+	if !g.HasIn() {
+		panic("graph: CompressIn requires the transpose (call BuildIn first)")
+	}
+	g.zmu.Lock()
+	defer g.zmu.Unlock()
+	if g.zIn == nil {
+		g.zIn = compressAdjacency(g.NumNodes(), g.InOffsets, g.InEdges, g.InWeights)
+	}
+	return g.zIn
+}
+
+// dropCompressed invalidates the cached compressed forms after a mutation
+// of the arrays they encode.
+func (g *Graph) dropCompressed(out, in bool) {
+	g.zmu.Lock()
+	if out {
+		g.zOut = nil
+	}
+	if in {
+		g.zIn = nil
+	}
+	g.zmu.Unlock()
+}
+
+// zcache is the lazily-encoded compressed-form cache embedded in Graph.
+type zcache struct {
+	zmu  sync.Mutex
+	zOut *CompressedCSR
+	zIn  *CompressedCSR
+}
+
+// Decode materializes the raw graph the compressed stream encodes,
+// validating the stream as it goes: every block must decode exactly its
+// byte extent, degrees must sum to the advertised edge count, and decoded
+// neighbors must be valid node IDs. The returned graph carries z as its
+// cached out-direction compressed form.
+func (z *CompressedCSR) Decode() (*Graph, error) {
+	n := z.n
+	if len(z.ByteOffsets) != n+1 {
+		return nil, fmt.Errorf("graph: csrz offsets length %d, want %d", len(z.ByteOffsets), n+1)
+	}
+	if z.ByteOffsets[0] != 0 {
+		return nil, fmt.Errorf("graph: csrz ByteOffsets[0] = %d, want 0", z.ByteOffsets[0])
+	}
+	if z.ByteOffsets[n] != int64(len(z.Data)) {
+		return nil, fmt.Errorf("graph: csrz ByteOffsets[n]=%d != data length %d", z.ByteOffsets[n], len(z.Data))
+	}
+	g := &Graph{
+		OutOffsets: make([]int64, n+1),
+		OutEdges:   make([]Node, 0, z.edges),
+	}
+	if z.weighted {
+		g.OutWeights = make([]uint32, 0, z.edges)
+	}
+	edgeOffs := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		blo, bhi := z.ByteOffsets[v], z.ByteOffsets[v+1]
+		if bhi < blo || bhi > int64(len(z.Data)) {
+			return nil, fmt.Errorf("graph: csrz block %d has invalid extent [%d, %d)", v, blo, bhi)
+		}
+		block := z.Data[blo:bhi]
+		deg, pos := binary.Uvarint(block)
+		if pos <= 0 {
+			return nil, fmt.Errorf("graph: csrz block %d: bad degree varint", v)
+		}
+		if int64(deg) > z.edges-int64(len(g.OutEdges)) {
+			return nil, fmt.Errorf("graph: csrz block %d: degree %d exceeds remaining edges", v, deg)
+		}
+		prev := int64(v)
+		for i := uint64(0); i < deg; i++ {
+			u, k := binary.Uvarint(block[pos:])
+			if k <= 0 {
+				return nil, fmt.Errorf("graph: csrz block %d: bad delta varint at edge %d", v, i)
+			}
+			pos += k
+			prev += unzigzag(u)
+			if prev < 0 || prev >= int64(n) {
+				return nil, fmt.Errorf("graph: csrz block %d: neighbor %d out of range [0, %d)", v, prev, n)
+			}
+			g.OutEdges = append(g.OutEdges, Node(prev))
+			if z.weighted {
+				w, wk := binary.Uvarint(block[pos:])
+				if wk <= 0 || w > uint64(^uint32(0)) {
+					return nil, fmt.Errorf("graph: csrz block %d: bad weight varint at edge %d", v, i)
+				}
+				pos += wk
+				g.OutWeights = append(g.OutWeights, uint32(w))
+			}
+		}
+		if int64(pos) != bhi-blo {
+			return nil, fmt.Errorf("graph: csrz block %d: decoded %d of %d bytes", v, pos, bhi-blo)
+		}
+		edgeOffs[v+1] = int64(len(g.OutEdges))
+	}
+	if int64(len(g.OutEdges)) != z.edges {
+		return nil, fmt.Errorf("graph: csrz degrees sum to %d edges, header says %d", len(g.OutEdges), z.edges)
+	}
+	copy(g.OutOffsets, edgeOffs)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	z.EdgeOffsets = g.OutOffsets
+	g.zOut = z
+	return g, nil
+}

@@ -12,7 +12,7 @@ import (
 // round-trip unchanged.
 func FuzzReadCSR(f *testing.F) {
 	// Seed 1: a small valid unweighted graph.
-	g := FromEdges(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}, false, true)
+	g := MustFromEdges(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}, false, true)
 	var valid bytes.Buffer
 	if err := WriteCSR(&valid, g); err != nil {
 		f.Fatal(err)
@@ -20,7 +20,7 @@ func FuzzReadCSR(f *testing.F) {
 	f.Add(valid.Bytes())
 
 	// Seed 2: a valid weighted graph.
-	wg := FromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false, true)
+	wg := MustFromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false, true)
 	wg.AddRandomWeights(16, 42)
 	var weighted bytes.Buffer
 	if err := WriteCSR(&weighted, wg); err != nil {
@@ -56,6 +56,24 @@ func FuzzReadCSR(f *testing.F) {
 	binary.LittleEndian.PutUint64(badflags[8:], 0xFF)
 	f.Add(badflags)
 
+	// Seed 8: weighted file truncated inside the weights section (header
+	// promises a full weight array; the file ends mid-way through it).
+	f.Add(weighted.Bytes()[:len(weighted.Bytes())-3])
+
+	// Seed 9: flag-corrupted weighted file — the weighted bit stripped,
+	// so the weight section becomes trailing garbage the reader must
+	// ignore without misparsing.
+	stripped := append([]byte(nil), weighted.Bytes()...)
+	binary.LittleEndian.PutUint64(stripped[8:], 0)
+	f.Add(stripped)
+
+	// Seed 10: flag-corrupted unweighted file — the weighted bit set on
+	// a file with no weight section, so the reader hits EOF reading
+	// weights the header invented.
+	invented := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint64(invented[8:], flagWeighted)
+	f.Add(invented)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadCSR(bytes.NewReader(data))
 		if err != nil {
@@ -77,6 +95,86 @@ func FuzzReadCSR(f *testing.F) {
 		if got.NumNodes() != again.NumNodes() || got.NumEdges() != again.NumEdges() {
 			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d nodes/edges",
 				got.NumNodes(), got.NumEdges(), again.NumNodes(), again.NumEdges())
+		}
+	})
+}
+
+// FuzzReadCSRZ drives the compressed-CSR deserializer with arbitrary
+// bytes: it must never panic or commit an absurd allocation, and anything
+// it accepts must be a valid graph whose compressed form round-trips
+// byte-identically (deterministic encoder over a canonical decode).
+func FuzzReadCSRZ(f *testing.F) {
+	// Seed 1: small valid unweighted graph.
+	g := MustFromEdges(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}, false, true)
+	var valid bytes.Buffer
+	if err := WriteCSRZ(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	// Seed 2: valid weighted graph (weights interleaved in the blocks).
+	wg := MustFromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false, true)
+	wg.AddRandomWeights(300, 42)
+	var weighted bytes.Buffer
+	if err := WriteCSRZ(&weighted, wg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(weighted.Bytes())
+
+	// Seed 3/4: truncations mid-data and mid-header.
+	f.Add(valid.Bytes()[:len(valid.Bytes())-2])
+	f.Add(valid.Bytes()[:17])
+
+	// Seed 5: hostile header claiming terabytes of block data.
+	hostile := make([]byte, 40)
+	binary.LittleEndian.PutUint64(hostile[0:], csrzMagic)
+	binary.LittleEndian.PutUint64(hostile[16:], 1<<20) // nodes
+	binary.LittleEndian.PutUint64(hostile[24:], 1<<40) // edges
+	binary.LittleEndian.PutUint64(hostile[32:], 1<<50) // data bytes
+	f.Add(hostile)
+
+	// Seed 6: weighted truncated inside the weight varints.
+	f.Add(weighted.Bytes()[:len(weighted.Bytes())-1])
+
+	// Seed 7: flag-corrupted — weighted bit stripped so the interleaved
+	// weight varints misparse as deltas (must reject or decode to a
+	// still-valid graph, never panic).
+	stripped := append([]byte(nil), weighted.Bytes()...)
+	binary.LittleEndian.PutUint64(stripped[8:], 0)
+	f.Add(stripped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSRZ(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ReadCSRZ accepted a graph failing Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteCSRZ(&out, got); err != nil {
+			t.Fatalf("re-serializing accepted graph: %v", err)
+		}
+		again, err := ReadCSRZ(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading re-serialized graph: %v", err)
+		}
+		if got.NumNodes() != again.NumNodes() || got.NumEdges() != again.NumEdges() {
+			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d nodes/edges",
+				got.NumNodes(), got.NumEdges(), again.NumNodes(), again.NumEdges())
+		}
+		// The raw and compressed serializations must describe the same
+		// graph: cross-decode through the raw format too.
+		var raw bytes.Buffer
+		if err := WriteCSR(&raw, got); err != nil {
+			t.Fatalf("writing raw form of accepted graph: %v", err)
+		}
+		viaRaw, err := ReadCSR(bytes.NewReader(raw.Bytes()))
+		if err != nil {
+			t.Fatalf("reading raw form of accepted graph: %v", err)
+		}
+		if viaRaw.NumEdges() != got.NumEdges() {
+			t.Fatalf("raw cross-decode changed edge count: %d -> %d", got.NumEdges(), viaRaw.NumEdges())
 		}
 	})
 }

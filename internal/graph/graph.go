@@ -32,6 +32,10 @@ type Graph struct {
 	InOffsets []int64
 	InEdges   []Node
 	InWeights []uint32
+
+	// zcache holds the lazily-encoded compressed adjacency forms (see
+	// compressed.go); mutating methods invalidate it.
+	zcache
 }
 
 // NumNodes returns |V|.
@@ -170,12 +174,14 @@ func (g *Graph) BuildIn() {
 	g.InOffsets = inOff
 	g.InEdges = inEdges
 	g.InWeights = inWeights
+	g.dropCompressed(false, true)
 }
 
 // DropIn releases the transpose, e.g. after a direction-optimizing run, to
 // mirror frameworks that free unneeded directions.
 func (g *Graph) DropIn() {
 	g.InOffsets, g.InEdges, g.InWeights = nil, nil, nil
+	g.dropCompressed(false, true)
 }
 
 // Edge is one directed edge with an optional weight, used by builders and
@@ -187,8 +193,19 @@ type Edge struct {
 
 // FromEdges builds a CSR graph with n nodes from an edge list. Edges are
 // sorted per source; parallel edges and self-loops are kept unless dedupe
-// is set (triangle counting requires deduplicated, loop-free input).
-func FromEdges(n int, edges []Edge, weighted, dedupe bool) *Graph {
+// is set (triangle counting requires deduplicated, loop-free input). Every
+// endpoint must lie in [0, n) — Node's unsignedness already excludes
+// negatives, and anything >= n is rejected here instead of corrupting (or
+// panicking over) the offset arrays.
+func FromEdges(n int, edges []Edge, weighted, dedupe bool) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	for i, e := range edges {
+		if int64(e.Src) >= int64(n) || int64(e.Dst) >= int64(n) {
+			return nil, fmt.Errorf("graph: edge %d (%d -> %d) endpoint out of range [0, %d)", i, e.Src, e.Dst, n)
+		}
+	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].Src != edges[j].Src {
 			return edges[i].Src < edges[j].Src
@@ -231,6 +248,16 @@ func FromEdges(n int, edges []Edge, weighted, dedupe bool) *Graph {
 		}
 		cursor[e.Src] = c + 1
 	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges that panics on invalid input, for builders
+// (generators, tests) whose edge lists are in-range by construction.
+func MustFromEdges(n int, edges []Edge, weighted, dedupe bool) *Graph {
+	g, err := FromEdges(n, edges, weighted, dedupe)
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
 
@@ -250,6 +277,7 @@ func (g *Graph) AddRandomWeights(maxWeight uint32, seed uint64) {
 		w[i] = uint32((x*0x2545F4914F6CDD1D)%uint64(maxWeight)) + 1
 	}
 	g.OutWeights = w
+	g.dropCompressed(true, true)
 	if g.HasIn() {
 		// Rebuild transpose weights to stay consistent.
 		g.InOffsets = nil

@@ -8,7 +8,7 @@ import (
 
 func smallGraph() *Graph {
 	// 0 -> 1,2 ; 1 -> 2 ; 2 -> 0 ; 3 isolated
-	return FromEdges(4, []Edge{
+	return MustFromEdges(4, []Edge{
 		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
 	}, false, false)
 }
@@ -30,7 +30,7 @@ func TestFromEdgesBasic(t *testing.T) {
 }
 
 func TestFromEdgesDedupe(t *testing.T) {
-	g := FromEdges(3, []Edge{
+	g := MustFromEdges(3, []Edge{
 		{Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 1, Dst: 1}, {Src: 1, Dst: 2},
 	}, false, true)
 	if g.NumEdges() != 2 {
@@ -39,7 +39,7 @@ func TestFromEdgesDedupe(t *testing.T) {
 }
 
 func TestFromEdgesSortsNeighbors(t *testing.T) {
-	g := FromEdges(4, []Edge{
+	g := MustFromEdges(4, []Edge{
 		{Src: 0, Dst: 3}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2},
 	}, false, false)
 	nb := g.OutNeighbors(0)
@@ -85,7 +85,7 @@ func TestTransposeRoundTrip(t *testing.T) {
 			x = x*6364136223846793005 + 1442695040888963407
 			edges = append(edges, Edge{Src: Node(x % uint64(n)), Dst: Node((x >> 32) % uint64(n))})
 		}
-		g := FromEdges(n, edges, false, false)
+		g := MustFromEdges(n, edges, false, false)
 		g.BuildIn()
 		// Count edges per (src,dst) in both directions.
 		fwd := map[[2]Node]int{}
@@ -172,7 +172,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 }
 
 func TestMaxDegreeHelpers(t *testing.T) {
-	g := FromEdges(5, []Edge{
+	g := MustFromEdges(5, []Edge{
 		{Src: 2, Dst: 0}, {Src: 2, Dst: 1}, {Src: 2, Dst: 3}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2},
 	}, false, false)
 	node, deg := g.MaxOutDegreeNode()
@@ -236,7 +236,7 @@ func TestSerializePropertyRoundTrip(t *testing.T) {
 			x = x*6364136223846793005 + 1
 			edges = append(edges, Edge{Src: Node(x % uint64(n)), Dst: Node((x >> 20) % uint64(n)), Weight: uint32(x%100) + 1})
 		}
-		g := FromEdges(n, edges, weighted, false)
+		g := MustFromEdges(n, edges, weighted, false)
 		var buf bytes.Buffer
 		if err := WriteCSR(&buf, g); err != nil {
 			return false
@@ -275,7 +275,7 @@ func TestEstimateDiameterShapes(t *testing.T) {
 	for i := 0; i < 49; i++ {
 		edges = append(edges, Edge{Src: Node(i), Dst: Node(i + 1)})
 	}
-	p := FromEdges(50, edges, false, false)
+	p := MustFromEdges(50, edges, false, false)
 	if d := p.EstimateDiameter(); d < 45 {
 		t.Errorf("path diameter = %d, want ~49", d)
 	}
@@ -284,7 +284,7 @@ func TestEstimateDiameterShapes(t *testing.T) {
 	for i := 1; i < 30; i++ {
 		star = append(star, Edge{Src: 0, Dst: Node(i)}, Edge{Src: Node(i), Dst: 0})
 	}
-	s := FromEdges(30, star, false, false)
+	s := MustFromEdges(30, star, false, false)
 	if d := s.EstimateDiameter(); d != 2 {
 		t.Errorf("star diameter = %d, want 2", d)
 	}

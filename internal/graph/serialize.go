@@ -34,14 +34,14 @@ func WriteCSR(w io.Writer, g *Graph) error {
 			return fmt.Errorf("graph: write header: %w", err)
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.OutOffsets); err != nil {
+	if err := writeSlice(bw, g.OutOffsets); err != nil {
 		return fmt.Errorf("graph: write offsets: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.OutEdges); err != nil {
+	if err := writeSlice(bw, g.OutEdges); err != nil {
 		return fmt.Errorf("graph: write edges: %w", err)
 	}
 	if g.HasWeights() {
-		if err := binary.Write(bw, binary.LittleEndian, g.OutWeights); err != nil {
+		if err := writeSlice(bw, g.OutWeights); err != nil {
 			return fmt.Errorf("graph: write weights: %w", err)
 		}
 	}
@@ -123,7 +123,7 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 // claimed allocation up front.
 const readChunk = 1 << 20
 
-func readSlice[T int64 | uint32](r io.Reader, n int64) ([]T, error) {
+func readSlice[T int64 | uint32 | uint8](r io.Reader, n int64) ([]T, error) {
 	out := make([]T, 0, min(n, readChunk))
 	for int64(len(out)) < n {
 		c := min(n-int64(len(out)), readChunk)
@@ -133,4 +133,127 @@ func readSlice[T int64 | uint32](r io.Reader, n int64) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// writeSlice is readSlice's serializer twin: binary.Write stages a whole
+// reflect-built copy of its argument, so passing a full CSR slice doubles
+// peak memory on large graphs. Writing in readChunk-sized pieces bounds
+// the staging copy at one chunk.
+func writeSlice[T int64 | uint32 | uint8](w io.Writer, s []T) error {
+	for len(s) > 0 {
+		c := min(int64(len(s)), readChunk)
+		if err := binary.Write(w, binary.LittleEndian, s[:c]); err != nil {
+			return err
+		}
+		s = s[c:]
+	}
+	return nil
+}
+
+// --- compressed (.csrz) form ---
+
+// Binary compressed-CSR format, little-endian:
+//
+//	magic   uint64  'P','M','G','R','C','S','Z','1'
+//	flags   uint64  bit0: weighted
+//	nodes   uint64
+//	edges   uint64
+//	bytes   uint64  length of the block data
+//	offsets (nodes+1) * int64   byte offsets into the block data
+//	data    bytes               delta+varint blocks (see compressed.go)
+//
+// Degrees are the leading varint of each block, so the file is
+// self-contained without an edge-offset array.
+const csrzMagic = 0x315A534352474D50 // "PMGRCSZ1" little-endian
+
+// WriteCSRZ serializes g's out-direction in compressed block form,
+// encoding it first if the graph has no cached compressed form.
+func WriteCSRZ(w io.Writer, g *Graph) error {
+	z := g.CompressOut()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := [5]uint64{csrzMagic, 0, uint64(z.NumNodes()), uint64(z.NumEdges()), uint64(len(z.Data))}
+	if z.Weighted() {
+		hdr[1] |= flagWeighted
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("graph: write csrz header: %w", err)
+		}
+	}
+	if err := writeSlice(bw, z.ByteOffsets); err != nil {
+		return fmt.Errorf("graph: write csrz offsets: %w", err)
+	}
+	if err := writeSlice(bw, z.Data); err != nil {
+		return fmt.Errorf("graph: write csrz data: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSRZ deserializes a graph written by WriteCSRZ, with the same
+// hostile-header hardening as ReadCSR: headers implying absurd
+// allocations (for the file's own arrays or for the decoded raw CSR) are
+// rejected before anything is allocated, slices grow only as data
+// arrives, and the varint stream is fully validated during decode. The
+// returned graph holds both the raw form (kernels index it) and the
+// compressed blocks (the compressed storage backend charges them).
+func ReadCSRZ(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [5]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: read csrz header: %w", err)
+		}
+	}
+	if hdr[0] != csrzMagic {
+		return nil, fmt.Errorf("graph: bad csrz magic %#x", hdr[0])
+	}
+	if hdr[1]&^uint64(flagWeighted) != 0 {
+		return nil, fmt.Errorf("graph: unknown csrz header flags %#x", hdr[1])
+	}
+	if hdr[2] > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("graph: csrz node count %d exceeds 32-bit node IDs", hdr[2])
+	}
+	nodes, edges, dataBytes := hdr[2], hdr[3], hdr[4]
+	weighted := hdr[1]&flagWeighted != 0
+	// The decoded raw CSR must itself be plausible: decoding materializes
+	// offsets, edges, and weights.
+	if impliedCSRBytes(nodes, edges, weighted) < 0 {
+		return nil, fmt.Errorf("graph: csrz header implies absurd size (nodes=%d edges=%d)", nodes, edges)
+	}
+	// The file's own arrays must fit the cap too...
+	offBytes := (nodes + 1) * 8
+	if offBytes/8 != nodes+1 || offBytes+dataBytes < offBytes || offBytes+dataBytes > uint64(MaxCSRBytes) {
+		return nil, fmt.Errorf("graph: csrz header implies absurd size (nodes=%d data=%d)", nodes, dataBytes)
+	}
+	// ...and the data cannot be shorter than its minimal encoding: one
+	// degree byte per vertex plus one delta byte (and one weight byte)
+	// per edge. impliedCSRBytes bounded nodes and edges, so no overflow.
+	minData := nodes + edges
+	if weighted {
+		minData += edges
+	}
+	if dataBytes < minData {
+		return nil, fmt.Errorf("graph: csrz data %d bytes cannot hold %d nodes, %d edges", dataBytes, nodes, edges)
+	}
+	byteOffs, err := readSlice[int64](br, int64(nodes)+1)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read csrz offsets: %w", err)
+	}
+	for v := uint64(0); v < nodes; v++ {
+		if byteOffs[v+1] < byteOffs[v] {
+			return nil, fmt.Errorf("graph: csrz ByteOffsets not monotone at node %d", v)
+		}
+	}
+	data, err := readSlice[uint8](br, int64(dataBytes))
+	if err != nil {
+		return nil, fmt.Errorf("graph: read csrz data: %w", err)
+	}
+	z := &CompressedCSR{
+		n:           int(nodes),
+		edges:       int64(edges),
+		weighted:    weighted,
+		ByteOffsets: byteOffs,
+		Data:        data,
+	}
+	return z.Decode()
 }

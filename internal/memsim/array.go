@@ -89,7 +89,27 @@ type Array struct {
 	// cache hierarchy, derived from the array's size relative to L3.
 	l3Prob float64
 
+	// readBytes/writeBytes accumulate the simulated traffic charged
+	// against this allocation. Atomic adds commute, so the totals are
+	// deterministic even though region threads race to update them.
+	readBytes, writeBytes atomic.Uint64
+
 	freed bool
+}
+
+// Traffic returns the simulated bytes read from and written to this
+// allocation so far (valid after Free too; counters survive release).
+func (a *Array) Traffic() (read, written uint64) {
+	return a.readBytes.Load(), a.writeBytes.Load()
+}
+
+// addTraffic records charged bytes against the per-array totals.
+func (a *Array) addTraffic(bytes int64, isWrite bool) {
+	if isWrite {
+		a.writeBytes.Add(uint64(bytes))
+	} else {
+		a.readBytes.Add(uint64(bytes))
+	}
 }
 
 type placeSegment struct {

@@ -92,6 +92,15 @@ type CostParams struct {
 	// region fork/join overhead.
 	OpCost       float64
 	ForkJoinCost float64
+
+	// Compressed-CSR decode costs (the byte-compressed storage backend,
+	// core.BackendCompressed): DecodePerEdge is the varint+delta decode
+	// of one edge, DecodePerVertex the per-block cursor setup (degree
+	// varint, offset pair arithmetic). These make the backend's
+	// bandwidth-for-compute trade explicit: compression saves streamed
+	// slow-tier bytes but every decoded edge pays CPU here.
+	DecodePerEdge   float64
+	DecodePerVertex float64
 }
 
 // DefaultCost returns the calibrated cost table. Values marked (T1)/(T2) are
@@ -153,5 +162,10 @@ func DefaultCost() CostParams {
 
 		OpCost:       2.2,
 		ForkJoinCost: 12000,
+
+		// ~4-6 decode instructions per short varint on a ~3 GHz core,
+		// in line with the small decode overheads Ligra+/GBBS report.
+		DecodePerEdge:   1.4,
+		DecodePerVertex: 3.5,
 	}
 }

@@ -432,6 +432,7 @@ func (m *Machine) Sequential(fn func(t *Thread)) RegionStats {
 // bandwidth rather than latency.
 func (m *Machine) access(t *Thread, a *Array, i, n int64, isWrite, seq bool) {
 	bytes := n * a.elemSize
+	a.addTraffic(bytes, isWrite)
 	if isWrite {
 		t.C.Writes++
 		t.C.BytesWritten += uint64(bytes)
@@ -643,6 +644,7 @@ func (m *Machine) randomBatch(t *Thread, a *Array, n int64, isWrite bool) {
 		return
 	}
 	bytes := n * 64
+	a.addTraffic(bytes, isWrite)
 	if isWrite {
 		t.C.Writes += uint64(n)
 		t.C.BytesWritten += uint64(bytes)
@@ -744,6 +746,7 @@ func (m *Machine) randomN(t *Thread, a *Array, n int64, isWrite bool) {
 	}
 	fn := float64(n)
 	bytes := n * 64
+	a.addTraffic(bytes, isWrite)
 	if isWrite {
 		t.C.Writes += uint64(n)
 		t.C.BytesWritten += uint64(bytes)

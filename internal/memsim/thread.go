@@ -92,3 +92,14 @@ func (t *Thread) AdvanceKernel(ns float64) {
 func (t *Thread) Op(n int) {
 	t.Advance(t.m.cost.OpCost * float64(n) * t.smtScale)
 }
+
+// Decode charges the CPU cost of decompressing `edges` delta+varint edges
+// across `blocks` compressed adjacency blocks (cursor setup per block plus
+// per-edge decode; see CostParams.DecodePerEdge).
+func (t *Thread) Decode(blocks, edges int64) {
+	if blocks <= 0 && edges <= 0 {
+		return
+	}
+	c := t.m.cost
+	t.Advance((float64(blocks)*c.DecodePerVertex + float64(edges)*c.DecodePerEdge) * t.smtScale)
+}

@@ -10,8 +10,10 @@ package server
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 
 	"pmemgraph/internal/frameworks"
@@ -67,14 +69,19 @@ func NewRegistry() *Registry {
 }
 
 // seal materializes every lazily-built projection of g (edge weights with
-// the frameworks defaults, then the transpose so in-weights exist too).
-// After sealing, HasWeights and HasIn both hold, making every subsequent
-// core.New / RunOn over the graph read-only.
+// the frameworks defaults, the transpose so in-weights exist too, and both
+// directions' compressed adjacency forms for jobs selecting the compressed
+// backend). After sealing, HasWeights and HasIn both hold and the
+// compressed encodings are cached, making every subsequent core.New /
+// RunOn over the graph read-only. Order matters: weights invalidate cached
+// compressed forms, so compression runs last.
 func seal(g *graph.Graph) {
 	if !g.HasWeights() {
 		g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
 	}
 	g.BuildIn()
+	g.CompressOut()
+	g.CompressIn()
 }
 
 // Add registers g under name, sealing it first. It fails on invalid or
@@ -127,15 +134,23 @@ func (r *Registry) LoadInput(name, input string, scale gen.Scale) (GraphInfo, er
 	return r.Add(name, fmt.Sprintf("gen:%s@%d", input, scale), g)
 }
 
-// LoadCSRFile reads a serialized CSR binary (graph.ReadCSR, with its
-// hostile-header hardening) and registers it under name.
+// LoadCSRFile reads a serialized CSR binary and registers it under name.
+// Files ending in ".csrz" are decoded as compressed CSR (graph.ReadCSRZ);
+// anything else as raw (graph.ReadCSR). Both readers carry the same
+// hostile-header hardening, and a .csrz load keeps its compressed blocks
+// cached so compressed-backend jobs reuse them without re-encoding.
 func (r *Registry) LoadCSRFile(name, path string) (GraphInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return GraphInfo{}, fmt.Errorf("server: opening CSR file: %w", err)
 	}
 	defer f.Close()
-	g, err := graph.ReadCSR(f)
+	var g *graph.Graph
+	if strings.EqualFold(filepath.Ext(path), ".csrz") {
+		g, err = graph.ReadCSRZ(f)
+	} else {
+		g, err = graph.ReadCSR(f)
+	}
 	if err != nil {
 		return GraphInfo{}, fmt.Errorf("server: reading CSR file %s: %w", path, err)
 	}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"pmemgraph/internal/analytics"
+	"pmemgraph/internal/core"
 	"pmemgraph/internal/engine"
 	"pmemgraph/internal/frameworks"
 	"pmemgraph/internal/gen"
@@ -48,6 +49,11 @@ type JobRequest struct {
 	Framework string `json:"framework,omitempty"`
 	// Threads is the virtual thread count (0 = the machine's maximum).
 	Threads int `json:"threads,omitempty"`
+	// Backend selects the simulated CSR storage backend: "raw" (default)
+	// or "compressed" (delta+varint byte blocks; identical results,
+	// different traffic and timing). The result-cache key incorporates
+	// it, so the two backends never alias each other's entries.
+	Backend string `json:"backend,omitempty"`
 	// Params overrides individual kernel parameters; unset fields take
 	// the deterministic per-graph defaults (frameworks.DefaultParams).
 	Params *ParamOverrides `json:"params,omitempty"`
@@ -145,20 +151,41 @@ func (s *Server) defaultThreads(threads int) int {
 	return s.cfg.Machine.MaxThreads()
 }
 
+// jobPlan is a validated request resolved against the registry: the
+// profile, graph, parameters, thread count, and storage backend one
+// execution is a function of.
+type jobPlan struct {
+	profile frameworks.Profile
+	g       *graph.Graph
+	info    GraphInfo
+	params  frameworks.Params
+	threads int
+	// opts is the exact runtime configuration the job executes with
+	// (profile options + requested backend); the cache key formats this
+	// same value, so key and execution cannot drift apart.
+	opts core.Options
+}
+
 // validate resolves and checks a request against the registry and the
 // profile capability gates, returning everything runJob needs.
-func (s *Server) validate(req JobRequest) (frameworks.Profile, *graph.Graph, GraphInfo, frameworks.Params, int, error) {
+func (s *Server) validate(req JobRequest) (jobPlan, error) {
+	var plan jobPlan
 	fw := req.Framework
 	if fw == "" {
 		fw = "Galois"
 	}
 	p, ok := frameworks.ByName(fw)
 	if !ok {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("unknown framework %q", fw)
+		return plan, fmt.Errorf("unknown framework %q", fw)
+	}
+	plan.profile = p
+	backend, err := core.ParseBackend(req.Backend)
+	if err != nil {
+		return plan, err
 	}
 	g, info, ok := s.reg.Get(req.Graph)
 	if !ok {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("graph %q not loaded", req.Graph)
+		return plan, fmt.Errorf("graph %q not loaded", req.Graph)
 	}
 	known := false
 	for _, app := range frameworks.Apps() {
@@ -167,30 +194,33 @@ func (s *Server) validate(req JobRequest) (frameworks.Profile, *graph.Graph, Gra
 		}
 	}
 	if !known {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("unknown app %q (have %s)", req.App, strings.Join(frameworks.Apps(), ", "))
+		return plan, fmt.Errorf("unknown app %q (have %s)", req.App, strings.Join(frameworks.Apps(), ", "))
 	}
 	if !p.Supports(req.App) {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("%s does not implement %s", p.Name, req.App)
+		return plan, fmt.Errorf("%s does not implement %s", p.Name, req.App)
 	}
 	if !p.CanLoad(g) {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("%s cannot load %d nodes (signed 32-bit node IDs)", p.Name, g.NumNodes())
+		return plan, fmt.Errorf("%s cannot load %d nodes (signed 32-bit node IDs)", p.Name, g.NumNodes())
 	}
 	// Defaults are precomputed at registration (an O(V) scan otherwise
 	// paid per request); a miss here means the graph raced an eviction.
 	params, ok := s.reg.Defaults(req.Graph)
 	if !ok {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("graph %q not loaded", req.Graph)
+		return plan, fmt.Errorf("graph %q not loaded", req.Graph)
 	}
 	req.Params.apply(&params)
 	if int64(params.Source) >= int64(g.NumNodes()) {
-		return p, nil, GraphInfo{}, frameworks.Params{}, 0, fmt.Errorf("source %d out of range (graph has %d nodes)", params.Source, g.NumNodes())
+		return plan, fmt.Errorf("source %d out of range (graph has %d nodes)", params.Source, g.NumNodes())
 	}
-	return p, g, info, params, s.defaultThreads(req.Threads), nil
+	plan.g, plan.info, plan.params, plan.threads = g, info, params, s.defaultThreads(req.Threads)
+	plan.opts = p.Options(req.App, plan.threads)
+	plan.opts.Backend = backend
+	return plan, nil
 }
 
 // Submit validates req and enqueues it.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
-	if _, _, _, _, _, err := s.validate(req); err != nil {
+	if _, err := s.validate(req); err != nil {
 		return nil, err
 	}
 	job, err := s.sched.Submit(req)
@@ -240,11 +270,14 @@ func (s *Server) Job(id string) (*Job, bool) {
 // owner runs on another worker and kernels always terminate.
 func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 	req := job.Req
-	p, g, info, params, threads, err := s.validate(req)
+	plan, err := s.validate(req)
 	if err != nil {
 		return nil, false, err
 	}
-	key := cacheKey(info, req.App, p, threads, p.Engine(), p.Options(req.App, threads), params, s.cfg.Machine.Name)
+	p, params, threads := plan.profile, plan.params, plan.threads
+	// plan.opts carries the storage backend, so the cache key (which
+	// formats the options) separates raw and compressed executions.
+	key := cacheKey(plan.info, req.App, p, threads, p.Engine(), plan.opts, params, s.cfg.Machine.Name)
 	var fl *flight
 	if !req.NoCache {
 		if data, ok := s.cache.Get(key); ok {
@@ -271,7 +304,7 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 	}
 	s.executed.Add(1)
 	m := memsim.NewMachine(s.cfg.Machine)
-	res, err := p.RunOn(m, g, req.App, threads, params)
+	res, err := p.RunOnOpts(m, plan.g, req.App, plan.opts, params)
 	if err != nil {
 		if fl != nil {
 			fl.err = err
