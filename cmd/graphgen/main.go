@@ -1,15 +1,22 @@
 // Command graphgen generates one of the paper's scaled input graphs and
 // writes it as a binary CSR file — raw by default, or delta+varint
 // compressed (.csrz, loadable by pmemserved's registry and run by the
-// compressed storage backend) with -csrz.
+// compressed storage backend) with -csrz. With -updates it additionally
+// emits a deterministic stream of edge-update batches for the graph as
+// JSON: each element of the array is a `{"updates": [...]}` object that
+// can be POSTed verbatim to pmemserved's
+// POST /v1/graphs/{name}/updates endpoint, in order.
 //
 // Usage:
 //
 //	graphgen -input clueweb12 -scale small -o clueweb12.csr
 //	graphgen -input clueweb12 -csrz -o clueweb12.csrz
+//	graphgen -input clueweb12 -updates 10 -update-batch 256 \
+//	         -updates-out clueweb12.updates.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,11 @@ func main() {
 	out := flag.String("o", "", "output file (default <input>.csr, or <input>.csrz with -csrz)")
 	weights := flag.Uint("weights", 0, "attach random edge weights in [1,N] (0 = unweighted)")
 	csrz := flag.Bool("csrz", false, "write the delta+varint compressed format (.csrz)")
+	updates := flag.Int("updates", 0, "also emit N edge-update batches for the streaming workload (0 = none)")
+	updateBatch := flag.Int("update-batch", 256, "operations per update batch")
+	updateSeed := flag.Uint64("update-seed", 1, "update-stream seed (streams are deterministic per seed)")
+	updateDeletes := flag.Bool("update-deletes", false, "mix deletions into the update stream (~1/4 of ops); insert-only streams keep incremental cc on its fast path")
+	updatesOut := flag.String("updates-out", "", "update-stream output file (default <input>.updates.json)")
 	flag.Parse()
 
 	scale := gen.ScaleSmall
@@ -61,4 +73,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: %d nodes, %d edges\n", path, g.NumNodes(), g.NumEdges())
+
+	if *updates > 0 {
+		if err := writeUpdateStream(g, *name, *updates, *updateBatch, *updateSeed, *updateDeletes, *updatesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// updateBatchBody mirrors the POST /v1/graphs/{name}/updates request shape
+// so stream elements can be sent verbatim.
+type updateBatchBody struct {
+	Updates []graph.EdgeUpdate `json:"updates"`
+}
+
+func writeUpdateStream(g *graph.Graph, input string, batches, perBatch int, seed uint64, deletes bool, path string) error {
+	stream, err := gen.UpdateStream(g, batches, perBatch, seed, deletes)
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		path = input + ".updates.json"
+	}
+	bodies := make([]updateBatchBody, len(stream))
+	ops := 0
+	for i, batch := range stream {
+		bodies[i] = updateBatchBody{Updates: batch}
+		ops += len(batch)
+	}
+	data, err := json.MarshalIndent(bodies, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d batches, %d operations\n", path, len(stream), ops)
+	return nil
 }

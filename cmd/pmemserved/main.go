@@ -2,13 +2,19 @@
 // Table 3 inputs and serialized CSR graphs resident in a shared registry
 // and serves concurrent kernel executions over HTTP/JSON, with a bounded
 // job scheduler and an exact result cache built on the engine's
-// byte-identical determinism. See DESIGN.md "Serving layer" for the API.
+// byte-identical determinism. Graphs are mutable through batched edge
+// updates (POST /v1/graphs/{name}/updates — graphgen -updates emits
+// replayable streams): each batch becomes a new sealed epoch, the graph's
+// cached results are invalidated, and jobs submitted with
+// "incremental": true recompute cc/pr from the prior epoch's retained
+// seed. See the README's "pmemserved HTTP API" reference and DESIGN.md
+// "Serving layer" / "Streaming updates & incremental kernels".
 //
 // Usage:
 //
 //	pmemserved [-addr :8097] [-machine optane|dram|entropy]
 //	           [-scale small|full] [-workers 4] [-queue 256]
-//	           [-cache 1024] [-preload clueweb12,kron30]
+//	           [-cache 1024] [-seed-mb 256] [-preload clueweb12,kron30]
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", server.DefaultWorkers, "max concurrent kernel executions")
 	queue := flag.Int("queue", server.DefaultQueueCap, "max queued jobs before 429")
 	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "max cached results")
+	seedMB := flag.Int64("seed-mb", server.DefaultSeedBytes>>20, "max megabytes of retained incremental seeds")
 	preload := flag.String("preload", "", "comma-separated Table 3 inputs to load at startup")
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 		Workers:      *workers,
 		QueueCap:     *queue,
 		CacheEntries: *cacheEntries,
+		SeedBytes:    *seedMB << 20,
 	})
 	defer srv.Close()
 

@@ -17,6 +17,126 @@ const (
 	prDamping          = 0.85
 )
 
+// prState bundles everything one pagerank power-iteration round touches.
+// PageRank drives it for every round; the incremental variant
+// (PageRankIncremental) reuses publishContrib and fullPullRound verbatim so
+// its full-mode rounds charge and compute exactly what the from-scratch
+// kernel would, which is what keeps its rank trajectory bitwise identical.
+type prState struct {
+	r *core.Runtime
+	e *engine.Engine
+
+	rank, next, sum, contrib     []float64
+	rankArr, nextArr, contribArr *memsim.Array
+	base                         float64
+	full                         *engine.Frontier
+	// resid shards the per-chunk residual contributions by thread; the
+	// fold sums them in thread-index order, so the float total (and with
+	// it the tolerance-crossing round) is deterministic — an atomic
+	// accumulator would add in arrival order and make the last round a
+	// race.
+	resid []float64
+}
+
+// newPRState allocates the iteration state. The allocation order (engine
+// scratch, then rank/next/contrib node arrays) is part of the charged
+// footprint and must not change under the goldens.
+func newPRState(r *core.Runtime) *prState {
+	e := engine.New(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPull})
+	n := r.G.NumNodes()
+	s := &prState{
+		r:          r,
+		e:          e,
+		rank:       make([]float64, n),
+		next:       make([]float64, n),
+		sum:        make([]float64, n), // per-round in-neighbor gather
+		contrib:    make([]float64, n), // rank[v] / outDegree(v), published per round
+		rankArr:    r.NodeArray("pr.rank", 8),
+		nextArr:    r.NodeArray("pr.next", 8),
+		contribArr: r.NodeArray("pr.contrib", 8),
+		base:       (1 - prDamping) / float64(n),
+		resid:      make([]float64, r.RegionThreads()),
+	}
+	init := 1.0 / float64(n)
+	e.VertexMap(engine.VertexMapArgs{
+		Fn:       func(v graph.Node) { s.rank[v] = init },
+		SeqWrite: []*memsim.Array{s.rankArr},
+	})
+	s.full = e.FullFrontier()
+	return s
+}
+
+// publishContrib streams contributions (rank[v] / outDegree(v)) for the
+// coming gather round.
+func (s *prState) publishContrib() {
+	s.e.VertexMap(engine.VertexMapArgs{
+		Fn: func(v graph.Node) {
+			if d := s.r.G.OutDegree(v); d > 0 {
+				s.contrib[v] = s.rank[v] / float64(d)
+			} else {
+				s.contrib[v] = 0
+			}
+		},
+		SeqRead:  []*memsim.Array{s.rankArr, s.r.Offsets},
+		SeqWrite: []*memsim.Array{s.contribArr},
+		Ops:      true,
+	})
+}
+
+// fullPullRound gathers in-neighbor contributions for every vertex and
+// accumulates the residual per chunk into the owning thread's shard.
+func (s *prState) fullPullRound() {
+	for i := range s.resid {
+		s.resid[i] = 0
+	}
+	s.e.EdgeMap(s.full, engine.EdgeMapArgs{
+		Pull: func(v, u graph.Node, ei int64) (bool, bool) {
+			s.sum[v] += s.contrib[u]
+			return false, false
+		},
+		OnPullDone: func(v graph.Node) {
+			s.next[v] = s.base + prDamping*s.sum[v]
+			s.sum[v] = 0
+		},
+		OnPullChunk: func(t *memsim.Thread, lo, hi graph.Node) {
+			local := 0.0
+			for v := lo; v < hi; v++ {
+				local += math.Abs(s.next[v] - s.rank[v])
+			}
+			s.resid[t.ID] += local
+		},
+		PerEdge:      []engine.Access{{Arr: s.contribArr, Write: false}},
+		PullSeqWrite: []*memsim.Array{s.nextArr},
+	})
+}
+
+// swap publishes the round: next becomes rank (values and simulated
+// arrays).
+func (s *prState) swap() {
+	s.rank, s.next = s.next, s.rank
+	s.rankArr, s.nextArr = s.nextArr, s.rankArr
+}
+
+// residual folds the per-thread shards in thread-index order.
+func (s *prState) residual() float64 {
+	total := 0.0
+	for _, x := range s.resid {
+		total += x
+	}
+	return total
+}
+
+// prDefaults normalizes the tolerance and round-cap parameters.
+func prDefaults(tol float64, maxRounds int) (float64, int) {
+	if tol <= 0 {
+		tol = PRDefaultTolerance
+	}
+	if maxRounds <= 0 {
+		maxRounds = PRDefaultMaxRounds
+	}
+	return tol, maxRounds
+}
+
 // PageRank is the topology-driven pull pagerank every framework in the
 // paper shares ("all systems use the same algorithm for pr"): each round a
 // VertexMap publishes contributions (rank[v] / outDegree(v)), then a
@@ -24,88 +144,32 @@ const (
 // stops when the L1 residual falls below tol or after maxRounds rounds.
 // Requires in-edges.
 func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
+	return pageRank(r, tol, maxRounds, nil)
+}
+
+// pageRank runs the power iteration, invoking record (when non-nil) with
+// the published rank vector after every round. Recording is host-side
+// bookkeeping for the streaming-update seed (PRSeed) and is never charged:
+// like result marshaling, it models retaining outputs outside the measured
+// kernel window, so a recorded run's simulated numbers are byte-identical
+// to an unrecorded one.
+func pageRank(r *core.Runtime, tol float64, maxRounds int, record func(round int, rank []float64)) *Result {
 	if r.InOffsets == nil {
 		panic("analytics: PageRank requires a runtime with in-edges (pull operator)")
 	}
-	if tol <= 0 {
-		tol = PRDefaultTolerance
-	}
-	if maxRounds <= 0 {
-		maxRounds = PRDefaultMaxRounds
-	}
+	tol, maxRounds = prDefaults(tol, maxRounds)
 	w := startWindow(r.M)
-	e := engine.New(r, engine.Config{Rep: engine.RepDense, Dir: engine.DirPull})
-	n := r.G.NumNodes()
-
-	rank := make([]float64, n)
-	next := make([]float64, n)
-	sum := make([]float64, n)     // per-round in-neighbor gather
-	contrib := make([]float64, n) // rank[v] / outDegree(v), published per round
-	rankArr := r.NodeArray("pr.rank", 8)
-	nextArr := r.NodeArray("pr.next", 8)
-	contribArr := r.NodeArray("pr.contrib", 8)
-
-	init := 1.0 / float64(n)
-	e.VertexMap(engine.VertexMapArgs{
-		Fn:       func(v graph.Node) { rank[v] = init },
-		SeqWrite: []*memsim.Array{rankArr},
-	})
-
-	base := (1 - prDamping) / float64(n)
-	full := e.FullFrontier()
-	// resid shards the per-chunk residual contributions by thread; the
-	// fold below sums them in thread-index order, so the float total (and
-	// with it the tolerance-crossing round) is deterministic — an atomic
-	// accumulator would add in arrival order and make the last round a
-	// race.
-	resid := make([]float64, r.RegionThreads())
+	s := newPRState(r)
 	rounds := 0
 	for rounds < maxRounds {
 		rounds++
-		// Publish contributions (streaming pass).
-		e.VertexMap(engine.VertexMapArgs{
-			Fn: func(v graph.Node) {
-				if d := r.G.OutDegree(v); d > 0 {
-					contrib[v] = rank[v] / float64(d)
-				} else {
-					contrib[v] = 0
-				}
-			},
-			SeqRead:  []*memsim.Array{rankArr, r.Offsets},
-			SeqWrite: []*memsim.Array{contribArr},
-			Ops:      true,
-		})
-		// Pull phase: gather in-neighbor contributions. The residual is
-		// reduced per scheduler chunk into the owning thread's shard.
-		for i := range resid {
-			resid[i] = 0
+		s.publishContrib()
+		s.fullPullRound()
+		s.swap()
+		if record != nil {
+			record(rounds, s.rank)
 		}
-		e.EdgeMap(full, engine.EdgeMapArgs{
-			Pull: func(v, u graph.Node, ei int64) (bool, bool) {
-				sum[v] += contrib[u]
-				return false, false
-			},
-			OnPullDone: func(v graph.Node) {
-				next[v] = base + prDamping*sum[v]
-				sum[v] = 0
-			},
-			OnPullChunk: func(t *memsim.Thread, lo, hi graph.Node) {
-				local := 0.0
-				for v := lo; v < hi; v++ {
-					local += math.Abs(next[v] - rank[v])
-				}
-				resid[t.ID] += local
-			},
-			PerEdge:      []engine.Access{{Arr: contribArr, Write: false}},
-			PullSeqWrite: []*memsim.Array{nextArr},
-		})
-		rank, next = next, rank
-		rankArr, nextArr = nextArr, rankArr
-		residual := 0.0
-		for _, x := range resid {
-			residual += x
-		}
-		if residual < tol {
+		if s.residual() < tol {
 			break
 		}
 	}
@@ -113,8 +177,7 @@ func PageRank(r *core.Runtime, tol float64, maxRounds int) *Result {
 		App:       "pr",
 		Algorithm: "topo-pull",
 		Rounds:    rounds,
-		Rank:      append([]float64(nil), rank...),
-		Trace:     e.Trace(),
+		Rank:      append([]float64(nil), s.rank...),
+		Trace:     s.e.Trace(),
 	})
 }
-

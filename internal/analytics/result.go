@@ -20,6 +20,17 @@
 // Every kernel computes its answer natively (validated against reference
 // implementations in tests) while charging its memory-access stream to the
 // runtime's simulated machine; reported times are simulated seconds.
+// Traversal traffic is charged by the engine (or, for the asynchronous
+// kernels, through core.Runtime's scan helpers); kernels charge only the
+// label-array accesses they declare. Kernel Results — outputs, round
+// trajectories, simulated times and counters — are byte-identical at any
+// GOMAXPROCS (TestResultsByteIdenticalAcrossGOMAXPROCS) and across the
+// raw and compressed storage backends for everything but the charging.
+//
+// The streaming-update path adds incremental variants (incremental.go):
+// CCIncremental and PageRankIncremental resume from a prior epoch's
+// artifacts and produce outputs bitwise identical to a from-scratch run
+// on the post-update graph, charging only the delta-forced work.
 package analytics
 
 import (

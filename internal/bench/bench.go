@@ -1,6 +1,3 @@
-// Package bench is the experiment harness: one runner per table and figure
-// in the paper's evaluation, each regenerating the corresponding rows or
-// series on the simulated machines (see DESIGN.md §4 for the index).
 package bench
 
 import (
@@ -56,12 +53,15 @@ type Record struct {
 	Algorithm  string `json:"algorithm,omitempty"`
 	Framework  string `json:"framework,omitempty"`
 	// Machine names the simulated platform for experiments that sweep
-	// machines (figCompress); Backend the CSR storage backend
+	// machines (figCompress, figStream); Backend the CSR storage backend
 	// (raw/compressed) and BytesRead the simulated bytes read from the
-	// graph's adjacency arrays, the figCompress comparison metric.
+	// graph's adjacency arrays, the figCompress comparison metric; Batch
+	// the update-batch size of a figStream row (the incremental and full
+	// variants of one batch share it and differ in Algorithm).
 	Machine     string  `json:"machine,omitempty"`
 	Backend     string  `json:"backend,omitempty"`
 	BytesRead   uint64  `json:"bytes_read,omitempty"`
+	Batch       int     `json:"batch,omitempty"`
 	Threads     int     `json:"threads,omitempty"`
 	SimSeconds  float64 `json:"sim_seconds,omitempty"`
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
@@ -146,6 +146,8 @@ var registry = map[string]struct {
 	"table5": {"Table 5: GridGraph app-direct vs Galois memory mode", Table5},
 	"figCompress": {"Compressed vs raw CSR backend: traffic and time across tiers",
 		FigCompress},
+	"figStream": {"Streaming updates: incremental vs full recomputation by batch size",
+		FigStream},
 }
 
 // Experiments returns the registered experiment names in run order.
@@ -164,7 +166,7 @@ func orderKey(name string) string {
 		"table1": 1, "table2": 2, "table3": 3, "fig4a": 4, "fig4b": 5,
 		"fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9, "fig9": 10,
 		"fig10": 11, "table4": 12, "fig11": 13, "table5": 14,
-		"figCompress": 15,
+		"figCompress": 15, "figStream": 16,
 	}
 	return fmt.Sprintf("%02d", order[name])
 }

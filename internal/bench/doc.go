@@ -1,0 +1,26 @@
+// Package bench is the experiment harness: one runner per table and
+// figure in the paper's evaluation, each regenerating the corresponding
+// rows or series on the simulated machines (see DESIGN.md §4 for the
+// index), plus the repo's own experiments beyond the paper (figCompress:
+// storage backends; figStream: streaming updates) and the deterministic
+// serving-workload generator (Workload) behind the server conformance
+// suite. It sits above frameworks/analytics as a pure driver layer.
+//
+// # Charging contract
+//
+// The harness charges nothing itself: every number it prints or records
+// is either a kernel's simulated time/counters (charged by the layers
+// below on a fresh machine per run) or an explicitly labeled host
+// wall-clock duration (Record.WallSeconds, the only nondeterministic
+// field in the -json output). Runners materialize lazy graph projections
+// (weights, transposes) up front so a row never depends on which
+// experiments ran earlier in the process.
+//
+// # Determinism guarantees
+//
+// Experiment tables and Record streams are byte-identical across
+// GOMAXPROCS and goroutine interleavings — golden files under testdata/
+// pin the fig7/fig9 bytes and the -json schema, and
+// TestFigureHarnessDeterministicAcrossGOMAXPROCS locks the invariant —
+// which is what makes BENCH_figures.json comparable across PRs.
+package bench

@@ -11,8 +11,15 @@
 //     asynchronous data-driven algorithms are expressible (§5)
 //
 // A Runtime binds one graph to one simulated machine: it allocates the
-// graph's CSR arrays on the machine and provides the parallel-execution and
-// access-charging primitives the kernels in internal/analytics build on.
+// graph's CSR arrays on the machine (raw or compressed backend) and
+// provides the parallel-execution and access-charging primitives the
+// engine and kernels build on — the layer between them and
+// graph/memsim. All adjacency charging funnels through the AdjView seam,
+// so traversal code is backend-agnostic and only the charged shape (element
+// ranges vs block bytes plus decode) differs. Parallel loops use static
+// chunk ownership (chunk i -> thread i mod T), which is what makes charge
+// attribution — and with it every simulated number — a pure function of
+// (n, threads), independent of GOMAXPROCS and goroutine interleaving.
 package core
 
 import (

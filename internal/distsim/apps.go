@@ -517,4 +517,3 @@ func snapshotU32(a []atomic.Uint32) []uint32 {
 	}
 	return out
 }
-

@@ -18,11 +18,15 @@
 // which the model applies as a volume factor (Boman et al., cited by the
 // paper).
 //
-// Deviation from strict BSP: label updates propagate through shared
-// native arrays, so a later-processed host can observe a value written by
-// an earlier-processed host in the same round. For the monotone
-// min/add-reductions used here this only reduces round counts slightly,
-// in D-Galois' favor.
+// Rounds are strictly bulk-synchronous and deterministic: every app reads
+// the round-start snapshot of its label arrays and relaxes via commutative
+// min/add-reductions, hostRound distributes vertices in statically owned
+// chunks (mirroring core.ParallelItems), and pagerank double-buffers its
+// contributions — so per-host compute charges, communication volumes, and
+// therefore every simulated number are byte-identical at any GOMAXPROCS,
+// the same contract the shared-memory engine upholds. Per-host compute is
+// charged to each host's own memsim machine; network time is analytic
+// (alpha-beta), not simulated.
 package distsim
 
 import (

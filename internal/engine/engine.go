@@ -1,38 +1,3 @@
-// Package engine is the unified Ligra/GBBS-style operator engine the
-// round-based analytics kernels are built on. The paper's §5/§6 message is
-// that one runtime with the right worklist and direction choices subsumes
-// the per-framework kernel zoo; this package embodies that claim as three
-// primitives:
-//
-//   - EdgeMap: apply a per-edge operator to the out- (push), in- (pull) or
-//     engine-chosen (direction-optimizing) neighborhoods of a frontier,
-//     returning the next frontier. Pull rounds support early exit, charged
-//     via prefix scans.
-//   - VertexMap / VertexFilter: streaming per-vertex passes (initializers,
-//     snapshot publishes, pointer jumps, peel-set selection).
-//   - Frontier: the active-vertex set, auto-converting between sparse
-//     (vertex slice) and dense (bit-vector) representations at a
-//     configurable |frontier|+out-edges threshold.
-//
-// The engine owns all memsim charging for frontier management and
-// neighborhood iteration: worklist and bit-vector traffic, offsets and
-// edge scans, and the per-edge label gathers kernels declare via Access
-// lists. Charges are batched per scheduler chunk (one RandomN/ReadRange
-// per chunk instead of one call per vertex), which is cost-identical under
-// the linear memsim model but measurably faster to simulate. It also
-// aggregates per-round RegionStats into a trace kernels surface through
-// their Result.
-//
-// Push rounds are two-phase so results are deterministic under real
-// parallelism (see DESIGN.md "Concurrency model"): during the parallel
-// scan, threads record activation claims into private per-thread buffers
-// — the scan region's charges depend only on the frontier, never on claim
-// outcomes — then the engine merges the buffers at the barrier into a
-// deduplicated, ID-sorted next frontier and charges its writes in a
-// follow-up parallel region. Operators must make claims that are
-// deterministic as a set (e.g. judged against round-start snapshots, or
-// unique-claimant transitions of commutative updates); the merge then
-// erases any nondeterminism in claim attribution or ordering.
 package engine
 
 import (

@@ -23,6 +23,14 @@
 // cannot load graphs with more than 2^31-1 nodes (the paper omits wdc12
 // for them); the profile records that limit so the harness can reproduce
 // the omission.
+//
+// This is the dispatch layer between the serving layer / harness above
+// and the kernels below: it charges nothing itself (runtimes built here
+// charge through core/engine), and a profile execution inherits the
+// engine's determinism — RunOn and friends are pure functions of
+// (machine config, graph, app, options, params), including the
+// incremental entry point RunIncrementalOnOpts, whose outputs are bitwise
+// those of a full recompute whether it runs seeded or falls back.
 package frameworks
 
 import (
@@ -328,3 +336,90 @@ func (p Profile) RunOnOpts(m *memsim.Machine, g *graph.Graph, app string, opts c
 
 // Apps returns the paper's benchmark names in presentation order.
 func Apps() []string { return []string{"bc", "bfs", "cc", "kcore", "pr", "sssp", "tc"} }
+
+// --- Incremental execution (streaming updates) ---
+
+// IncrementalMaxDeltaFrac declares an update batch "large" once its
+// operation count exceeds |E|/IncrementalMaxDeltaFrac; large deltas fall
+// back to full recomputation (the incremental machinery would touch most
+// of the graph anyway).
+const IncrementalMaxDeltaFrac = 10
+
+// Seed carries the prior-epoch artifacts an incremental run resumes from:
+// converged component labels for cc, the recorded rank trajectory for pr.
+// Seeds are produced by every RunIncrementalOnOpts call (fallback runs
+// record one too), so epochs chain: each run seeds the next.
+type Seed struct {
+	CCLabels []uint32
+	PR       *analytics.PRSeed
+}
+
+// Bytes estimates the seed's resident footprint, the quantity the serving
+// layer's bounded seed store evicts on.
+func (s *Seed) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	total := int64(4 * len(s.CCLabels))
+	if s.PR != nil {
+		for _, r := range s.PR.Ranks {
+			total += int64(8 * len(r))
+		}
+	}
+	return total
+}
+
+// IncrementalApp reports whether app has an incremental variant.
+func IncrementalApp(app string) bool { return app == "cc" || app == "pr" }
+
+// RunIncrementalOnOpts executes app over g with incremental recomputation
+// when the seed and delta allow it, falling back to a full recompute
+// otherwise — when there is no usable seed, the delta is large
+// (IncrementalMaxDeltaFrac), cc faces deletions (splits are inexpressible
+// over merged labels), or the profile lacks the capability (GraphIt's DSL
+// has no arbitrary per-vertex operators, so its cc cannot chase root
+// pointers; §6.1). Either way the outputs are byte-identical to a
+// from-scratch run on g — the incremental kernels guarantee it, and the
+// fallback IS a from-scratch run — and a new Seed for the next epoch is
+// returned alongside the result.
+func (p Profile) RunIncrementalOnOpts(m *memsim.Machine, g *graph.Graph, app string, opts core.Options, params Params, seed *Seed, delta *graph.Delta) (*analytics.Result, *Seed, error) {
+	if !IncrementalApp(app) {
+		return nil, nil, fmt.Errorf("frameworks: %s has no incremental variant (cc and pr only)", app)
+	}
+	if !p.Supports(app) {
+		return nil, nil, fmt.Errorf("frameworks: %s does not implement %s", p.Name, app)
+	}
+	if !p.CanLoad(g) {
+		return nil, nil, fmt.Errorf("frameworks: %s cannot load %d nodes (signed 32-bit node IDs)", p.Name, g.NumNodes())
+	}
+	if opts.Weighted && !g.HasWeights() {
+		g.AddRandomWeights(DefaultWeightMax, DefaultWeightSeed)
+	}
+	r, err := core.New(m, g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	largeDelta := delta == nil || int64(delta.Edges())*IncrementalMaxDeltaFrac > g.NumEdges()
+	switch app {
+	case "cc":
+		if largeDelta || delta.HasDeletes || !p.ArbitraryOps ||
+			seed == nil || len(seed.CCLabels) != g.NumNodes() {
+			res, err := p.Run(r, "cc", params)
+			if err != nil {
+				return nil, nil, err
+			}
+			return res, &Seed{CCLabels: res.Labels}, nil
+		}
+		res := analytics.CCIncremental(r, seed.CCLabels, delta)
+		return res, &Seed{CCLabels: res.Labels}, nil
+	default: // pr
+		if largeDelta || seed == nil || seed.PR == nil ||
+			len(seed.PR.Ranks) == 0 || len(seed.PR.Ranks[0]) != g.NumNodes() {
+			res, prSeed := analytics.PageRankRecord(r, params.Tol, params.Rounds)
+			return res, &Seed{PR: prSeed}, nil
+		}
+		res, prSeed := analytics.PageRankIncremental(r, seed.PR, delta, params.Tol, params.Rounds)
+		return res, &Seed{PR: prSeed}, nil
+	}
+}

@@ -1,0 +1,144 @@
+package frameworks
+
+import (
+	"reflect"
+	"testing"
+
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+func incMachine() *memsim.Machine {
+	return memsim.NewMachine(memsim.Scaled(memsim.OptaneMachine(), 32))
+}
+
+func TestRunIncrementalMatchesFullAcrossProfiles(t *testing.T) {
+	g := gen.WebCrawl(8000, 8, 80, 41)
+	g.BuildIn()
+	stream, err := gen.UpdateStream(g, 1, 24, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, delta, err := graph.ApplyUpdates(g, stream[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng.BuildIn()
+	for _, p := range All() {
+		t.Run(p.Name, func(t *testing.T) {
+			for _, app := range []string{"cc", "pr"} {
+				params := DefaultParams(ng)
+				params.Rounds = 15
+				// Epoch 0: no seed — must fall back to a full run whose
+				// bytes match the plain execution path exactly.
+				res0, seed0, err := p.RunIncrementalOnOpts(incMachine(), g, app, p.Options(app, 8), params, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plain, err := p.RunOnOpts(incMachine(), g, app, p.Options(app, 8), params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res0.Algorithm != plain.Algorithm || res0.Seconds != plain.Seconds {
+					t.Fatalf("%s %s: seedless incremental run diverged from plain full run (%s/%.6f vs %s/%.6f)",
+						p.Name, app, res0.Algorithm, res0.Seconds, plain.Algorithm, plain.Seconds)
+				}
+				// Epoch 1: seeded run on the post-update graph must match a
+				// full recompute's outputs bitwise.
+				res1, _, err := p.RunIncrementalOnOpts(incMachine(), ng, app, p.Options(app, 8), params, seed0, &delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := p.RunOnOpts(incMachine(), ng, app, p.Options(app, 8), params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res1.Labels, full.Labels) || !reflect.DeepEqual(res1.Rank, full.Rank) {
+					t.Fatalf("%s %s: incremental outputs differ from full recompute", p.Name, app)
+				}
+				switch {
+				case app == "cc" && !p.ArbitraryOps:
+					// GraphIt cannot chase root pointers; it must have
+					// fallen back to its full variant.
+					if res1.Algorithm == "inc-unionfind" {
+						t.Fatalf("%s ran inc-unionfind without ArbitraryOps", p.Name)
+					}
+				case app == "cc":
+					if res1.Algorithm != "inc-unionfind" {
+						t.Fatalf("%s cc fell back unexpectedly: %s", p.Name, res1.Algorithm)
+					}
+				case app == "pr":
+					if res1.Algorithm != "topo-pull-inc" {
+						t.Fatalf("%s pr fell back unexpectedly: %s", p.Name, res1.Algorithm)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunIncrementalFallsBackOnLargeDeltaAndDeletes(t *testing.T) {
+	g := gen.WebCrawl(2000, 6, 40, 5)
+	g.BuildIn()
+	params := DefaultParams(g)
+	params.Rounds = 10
+
+	_, seed, err := Galois.RunIncrementalOnOpts(incMachine(), g, "cc", Galois.Options("cc", 8), params, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A delta above |E|/IncrementalMaxDeltaFrac (of the post-update edge
+	// count — inserts grow |E| too) forces the full path.
+	big, err := gen.UpdateStream(g, 1, int(g.NumEdges()/(IncrementalMaxDeltaFrac-1))+1, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, delta, err := graph.ApplyUpdates(g, big[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng.BuildIn()
+	res, _, err := Galois.RunIncrementalOnOpts(incMachine(), ng, "cc", Galois.Options("cc", 8), params, seed, &delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm == "inc-unionfind" {
+		t.Fatalf("large delta (%d ops over %d edges) did not fall back", delta.Edges(), g.NumEdges())
+	}
+
+	// Deletions force the full path for cc regardless of size.
+	del, err := gen.UpdateStream(g, 1, 8, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !hasDelete(del[0]) {
+		t.Skip("generated batch had no deletes; seed-dependent, skip rather than flake")
+	}
+	ngd, deltaD, err := graph.ApplyUpdates(g, del[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ngd.BuildIn()
+	resD, _, err := Galois.RunIncrementalOnOpts(incMachine(), ngd, "cc", Galois.Options("cc", 8), params, seed, &deltaD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resD.Algorithm == "inc-unionfind" {
+		t.Fatal("delta with deletions did not fall back for cc")
+	}
+
+	if _, _, err := Galois.RunIncrementalOnOpts(incMachine(), g, "bfs", Galois.Options("bfs", 8), params, nil, nil); err == nil {
+		t.Fatal("bfs accepted incremental execution")
+	}
+}
+
+func hasDelete(ups []graph.EdgeUpdate) bool {
+	for _, u := range ups {
+		if u.Op == graph.OpDelete {
+			return true
+		}
+	}
+	return false
+}

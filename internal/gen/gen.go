@@ -13,6 +13,13 @@
 //     in §5
 //   - footprint relative to near-memory, via the scale divisor shared with
 //     the memsim machine configurations
+//
+// Generation is host-side work below the charging seam (loading is
+// excluded from all reported numbers, so nothing here touches memsim),
+// and every generator — graphs and edge-update streams (updates.go) alike
+// — is a pure function of its parameters and seed, which is what lets
+// harness runs, goldens, and the serving conformance suite share inputs
+// byte-for-byte.
 package gen
 
 import (

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"pmemgraph/internal/graph"
+)
+
+// defaultUpdateWeightMax bounds insert weights when a weighted graph has
+// no edges to infer a range from; it matches frameworks.DefaultWeightMax.
+const defaultUpdateWeightMax = 64
+
+// weightCeiling infers the weight range of a weighted graph so inserted
+// edges stay on the same scale as the existing ones (a graphgen
+// -weights 8 graph must not gain [1,64] inserts).
+func weightCeiling(g *graph.Graph) int {
+	max := uint32(0)
+	for _, w := range g.OutWeights {
+		if w > max {
+			max = w
+		}
+	}
+	if max == 0 {
+		return defaultUpdateWeightMax
+	}
+	return int(max)
+}
+
+// UpdateStream generates a deterministic stream of edge-update batches
+// against g for the streaming-update workload: each batch is valid for the
+// graph state produced by applying all earlier batches (the generator
+// evolves a working copy), so the stream can be POSTed to
+// /v1/graphs/{name}/updates batch by batch, or replayed through
+// graph.ApplyUpdates, without validation errors. Batches mix ~3/4
+// insertions of fresh random pairs with ~1/4 deletions of existing edges
+// when withDeletes is set, and are insert-only otherwise (insert-only
+// streams keep incremental cc on its fast path). The stream is a pure
+// function of (g, batches, perBatch, seed).
+func UpdateStream(g *graph.Graph, batches, perBatch int, seed uint64, withDeletes bool) ([][]graph.EdgeUpdate, error) {
+	if batches <= 0 || perBatch <= 0 {
+		return nil, fmt.Errorf("gen: update stream needs positive batches (%d) and batch size (%d)", batches, perBatch)
+	}
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("gen: update stream needs at least 2 nodes, graph has %d", n)
+	}
+	r := newRNG(seed ^ 0x57EA3B17)
+	cur := g
+	weighted := g.HasWeights()
+	weightMax := 0
+	if weighted {
+		weightMax = weightCeiling(g)
+	}
+	stream := make([][]graph.EdgeUpdate, 0, batches)
+	for b := 0; b < batches; b++ {
+		ups := make([]graph.EdgeUpdate, 0, perBatch)
+		inserted := make(map[uint64]struct{})
+		deleted := make(map[uint64]struct{})
+		key := func(s, d graph.Node) uint64 { return uint64(s)<<32 | uint64(d) }
+		// redraws bounds consecutive failed draws so a pathological batch
+		// (e.g. a tiny graph whose every ordered pair is already deleted
+		// in this batch) errors out instead of spinning forever.
+		redraws := 0
+		for len(ups) < perBatch {
+			if redraws > 64 {
+				return nil, fmt.Errorf("gen: batch %d stuck after %d operations (graph too small for batch size %d?)", b, len(ups), perBatch)
+			}
+			if withDeletes && cur.NumEdges() > 0 && r.intn(4) == 0 {
+				// Delete a uniformly random existing edge; redraw if the
+				// pair already appears in this batch (one batch may not
+				// delete a pair twice or both insert and delete it).
+				ok := false
+				for attempt := 0; attempt < 16; attempt++ {
+					ei := int64(r.next() % uint64(cur.NumEdges()))
+					src := graph.Node(sort.Search(cur.NumNodes(), func(v int) bool {
+						return cur.OutOffsets[v+1] > ei
+					}))
+					dst := cur.OutEdges[ei]
+					k := key(src, dst)
+					if _, dup := deleted[k]; dup {
+						continue
+					}
+					if _, dup := inserted[k]; dup {
+						continue
+					}
+					deleted[k] = struct{}{}
+					ups = append(ups, graph.EdgeUpdate{Op: graph.OpDelete, Src: src, Dst: dst})
+					ok = true
+					break
+				}
+				if ok {
+					continue
+				}
+				// Dense batch over a tiny graph: fall through to an insert.
+			}
+			src := graph.Node(r.intn(n))
+			dst := graph.Node(r.intn(n))
+			k := key(src, dst)
+			if _, dup := deleted[k]; dup {
+				redraws++
+				continue // inserting a pair deleted in this batch is invalid
+			}
+			redraws = 0
+			inserted[k] = struct{}{}
+			u := graph.EdgeUpdate{Op: graph.OpInsert, Src: src, Dst: dst}
+			if weighted {
+				u.Weight = uint32(1 + r.intn(weightMax))
+			}
+			ups = append(ups, u)
+		}
+		next, _, err := graph.ApplyUpdates(cur, ups)
+		if err != nil {
+			return nil, fmt.Errorf("gen: generated batch %d does not apply: %w", b, err)
+		}
+		stream = append(stream, ups)
+		cur = next
+	}
+	return stream, nil
+}

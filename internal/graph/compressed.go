@@ -120,11 +120,11 @@ func (g *Graph) RawIn() RawAdjacency {
 	return RawAdjacency{Offsets: g.InOffsets, Edges: g.InEdges}
 }
 
-func (a RawAdjacency) NumNodes() int          { return len(a.Offsets) - 1 }
-func (a RawAdjacency) NumEdges() int64        { return int64(len(a.Edges)) }
-func (a RawAdjacency) Degree(v Node) int64    { return a.Offsets[v+1] - a.Offsets[v] }
-func (a RawAdjacency) Base(v Node) int64      { return a.Offsets[v] }
-func (a RawAdjacency) Compressed() bool       { return false }
+func (a RawAdjacency) NumNodes() int       { return len(a.Offsets) - 1 }
+func (a RawAdjacency) NumEdges() int64     { return int64(len(a.Edges)) }
+func (a RawAdjacency) Degree(v Node) int64 { return a.Offsets[v+1] - a.Offsets[v] }
+func (a RawAdjacency) Base(v Node) int64   { return a.Offsets[v] }
+func (a RawAdjacency) Compressed() bool    { return false }
 func (a RawAdjacency) Extent(v Node) (int64, int64) {
 	return a.Offsets[v], a.Offsets[v+1]
 }

@@ -7,6 +7,15 @@
 // and GridGraph store node IDs in 32 bits (and therefore cannot load graphs
 // with more than 2^31-1 nodes); edge indices are int64 so edge counts are
 // not similarly limited.
+//
+// This is the host-side storage layer: nothing here touches the memory
+// simulator (graph construction, serialization and update application
+// model loading, which the paper excludes from all reported numbers);
+// charging happens when core.Runtime mirrors these arrays onto a
+// simulated machine. Graphs are immutable once shared — the batched
+// edge-update log (updates.go) validates a batch and produces a NEW graph
+// via merge rebuild, never mutating the old one — and every builder,
+// (de)serializer and generator is deterministic in its inputs.
 package graph
 
 import (

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file is the batched edge-update log: the mutable-graph seam of the
+// streaming-update path (GraphBolt/Aspen-style batched deltas). Graphs stay
+// immutable — ApplyUpdates validates a batch against the current graph and
+// produces a NEW graph via a merge rebuild, which the serving layer seals
+// as the next epoch. Update application models graph (re)construction and,
+// like loading, is never charged to the simulated machine (the paper
+// excludes construction time from all reported numbers).
+
+// UpdateOp distinguishes edge insertion from edge deletion.
+type UpdateOp uint8
+
+const (
+	// OpInsert adds one directed edge (a parallel copy if the pair
+	// already exists).
+	OpInsert UpdateOp = iota
+	// OpDelete removes every copy of a directed edge pair; the pair must
+	// exist in the graph the batch is applied to.
+	OpDelete
+)
+
+// String implements fmt.Stringer ("insert" / "delete").
+func (op UpdateOp) String() string {
+	if op == OpDelete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// MarshalJSON emits the wire form ("insert" / "delete") shared by the
+// serving layer's updates endpoint and graphgen's update-stream files.
+func (op UpdateOp) MarshalJSON() ([]byte, error) {
+	return json.Marshal(op.String())
+}
+
+// UnmarshalJSON parses the wire form.
+func (op *UpdateOp) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "insert":
+		*op = OpInsert
+	case "delete":
+		*op = OpDelete
+	default:
+		return fmt.Errorf("graph: unknown update op %q (want insert or delete)", s)
+	}
+	return nil
+}
+
+// EdgeUpdate is one entry of a batched edge-update log. The json tags
+// define the wire format accepted by POST /v1/graphs/{name}/updates and
+// emitted by graphgen -updates.
+type EdgeUpdate struct {
+	Op  UpdateOp `json:"op"`
+	Src Node     `json:"src"`
+	Dst Node     `json:"dst"`
+	// Weight applies to inserts on weighted graphs (0 is clamped to 1,
+	// the generators' minimum); ignored for deletes.
+	Weight uint32 `json:"weight,omitempty"`
+}
+
+// Delta summarizes one applied batch for the incremental kernels: which
+// vertices' adjacency changed, and in which roles. All slices are
+// deduplicated and sorted by vertex ID, so consumers iterating them are
+// deterministic by construction.
+type Delta struct {
+	// Inserts and Deletes count the batch's operations.
+	Inserts, Deletes int
+	// HasDeletes reports whether any edge was removed (label-propagation
+	// seeds cannot survive deletions; incremental cc falls back).
+	HasDeletes bool
+	// Dsts are the destinations of every inserted or deleted edge (the
+	// vertices whose in-neighborhood changed).
+	Dsts []Node
+	// DegChanged are the sources whose out-degree changed (net inserts
+	// minus deletes nonzero, counting every removed parallel copy) — the
+	// vertices whose pagerank contribution divisor moved.
+	DegChanged []Node
+	// Inserted lists the inserted edges sorted by (src, dst), the pairs
+	// incremental connected components hooks with union-by-min.
+	Inserted []Edge
+}
+
+// Edges returns the total number of operations in the batch.
+func (d *Delta) Edges() int { return d.Inserts + d.Deletes }
+
+// pairKey packs a directed edge for set membership.
+func pairKey(s, d Node) uint64 { return uint64(s)<<32 | uint64(d) }
+
+// sortedNodes deduplicates and sorts a node set.
+func sortedNodes(set map[Node]struct{}) []Node {
+	out := make([]Node, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ValidateUpdates checks a batch against g without applying it: endpoints
+// must lie in [0, n) (updates never grow the vertex set), a pair may not be
+// both inserted and deleted in one batch (the net effect would be
+// order-dependent), the same pair may not be deleted twice, and every
+// deleted pair must exist in g. It reuses the FromEdges hardening posture:
+// reject hostile input before any allocation proportional to it succeeds.
+func ValidateUpdates(g *Graph, ups []EdgeUpdate) error {
+	n := int64(g.NumNodes())
+	deletes := make(map[uint64]struct{})
+	inserts := make(map[uint64]struct{})
+	for i, u := range ups {
+		if int64(u.Src) >= n || int64(u.Dst) >= n {
+			return fmt.Errorf("graph: update %d (%s %d -> %d) endpoint out of range [0, %d)", i, u.Op, u.Src, u.Dst, n)
+		}
+		key := pairKey(u.Src, u.Dst)
+		switch u.Op {
+		case OpInsert:
+			if _, ok := deletes[key]; ok {
+				return fmt.Errorf("graph: update %d inserts edge %d -> %d also deleted in this batch", i, u.Src, u.Dst)
+			}
+			inserts[key] = struct{}{}
+		case OpDelete:
+			if _, ok := inserts[key]; ok {
+				return fmt.Errorf("graph: update %d deletes edge %d -> %d also inserted in this batch", i, u.Src, u.Dst)
+			}
+			if _, ok := deletes[key]; ok {
+				return fmt.Errorf("graph: update %d deletes edge %d -> %d twice", i, u.Src, u.Dst)
+			}
+			deletes[key] = struct{}{}
+		default:
+			return fmt.Errorf("graph: update %d has unknown op %d", i, u.Op)
+		}
+	}
+	if len(deletes) > 0 {
+		// Deletions must name edges that exist; scan the CSR once rather
+		// than materializing an O(E) pair set.
+		found := make(map[uint64]struct{}, len(deletes))
+		for v := 0; v < g.NumNodes(); v++ {
+			lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+			for i := lo; i < hi; i++ {
+				key := pairKey(Node(v), g.OutEdges[i])
+				if _, ok := deletes[key]; ok {
+					found[key] = struct{}{}
+				}
+			}
+		}
+		if len(found) != len(deletes) {
+			for key := range deletes {
+				if _, ok := found[key]; !ok {
+					return fmt.Errorf("graph: delete of nonexistent edge %d -> %d", Node(key>>32), Node(key&0xFFFFFFFF))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyUpdates validates the batch against g and returns a new graph with
+// it applied, plus the Delta the incremental kernels consume. g itself is
+// never mutated — in-flight readers of the old epoch stay valid. Deletions
+// remove every parallel copy of the named pair; insertions append one edge
+// (carrying a weight iff g is weighted, clamped to >= 1 so generated
+// weight invariants hold). The rebuild goes through FromEdges, so the new
+// graph carries the same per-source ordering and validation guarantees as
+// a freshly built one; the transpose and compressed encodings are NOT
+// built here (the caller seals the new epoch as it would a loaded graph).
+func ApplyUpdates(g *Graph, ups []EdgeUpdate) (*Graph, Delta, error) {
+	if err := ValidateUpdates(g, ups); err != nil {
+		return nil, Delta{}, err
+	}
+	var delta Delta
+	dsts := make(map[Node]struct{})
+	degNet := make(map[Node]int64)
+	deletes := make(map[uint64]struct{})
+	weighted := g.HasWeights()
+	n := g.NumNodes()
+
+	inserted := make([]Edge, 0, len(ups))
+	for _, u := range ups {
+		dsts[u.Dst] = struct{}{}
+		switch u.Op {
+		case OpInsert:
+			delta.Inserts++
+			degNet[u.Src]++
+			w := u.Weight
+			if weighted && w == 0 {
+				w = 1
+			}
+			inserted = append(inserted, Edge{Src: u.Src, Dst: u.Dst, Weight: w})
+		case OpDelete:
+			delta.Deletes++
+			delta.HasDeletes = true
+			deletes[pairKey(u.Src, u.Dst)] = struct{}{}
+		}
+	}
+
+	edges := make([]Edge, 0, int64(len(g.OutEdges))+int64(len(inserted)))
+	for v := 0; v < n; v++ {
+		lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+		for i := lo; i < hi; i++ {
+			d := g.OutEdges[i]
+			if len(deletes) > 0 {
+				if _, ok := deletes[pairKey(Node(v), d)]; ok {
+					degNet[Node(v)]-- // every parallel copy removed counts
+					continue
+				}
+			}
+			e := Edge{Src: Node(v), Dst: d}
+			if weighted {
+				e.Weight = g.OutWeights[i]
+			}
+			edges = append(edges, e)
+		}
+	}
+	edges = append(edges, inserted...)
+
+	ng, err := FromEdges(n, edges, weighted, false)
+	if err != nil {
+		return nil, Delta{}, err // unreachable after validation; kept for defense
+	}
+	delta.Dsts = sortedNodes(dsts)
+	changed := make(map[Node]struct{})
+	for v, net := range degNet {
+		if net != 0 {
+			changed[v] = struct{}{}
+		}
+	}
+	delta.DegChanged = sortedNodes(changed)
+	delta.Inserted = append([]Edge(nil), inserted...)
+	sort.Slice(delta.Inserted, func(i, j int) bool {
+		if delta.Inserted[i].Src != delta.Inserted[j].Src {
+			return delta.Inserted[i].Src < delta.Inserted[j].Src
+		}
+		return delta.Inserted[i].Dst < delta.Inserted[j].Dst
+	})
+	return ng, delta, nil
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func updateTestGraph(t *testing.T, weighted bool) *Graph {
+	t.Helper()
+	edges := []Edge{
+		{0, 1, 10}, {0, 2, 20}, {1, 2, 30}, {2, 0, 40}, {2, 3, 50}, {3, 3, 60},
+	}
+	g, err := FromEdges(5, edges, weighted, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyUpdatesInsertDelete(t *testing.T) {
+	g := updateTestGraph(t, true)
+	ng, delta, err := ApplyUpdates(g, []EdgeUpdate{
+		{Op: OpInsert, Src: 3, Dst: 4, Weight: 7},
+		{Op: OpInsert, Src: 0, Dst: 1, Weight: 9}, // parallel copy
+		{Op: OpDelete, Src: 2, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ng.NumEdges(), int64(7); got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("source graph mutated: %d edges", g.NumEdges())
+	}
+	if got := ng.OutNeighbors(0); !reflect.DeepEqual(got, []Node{1, 1, 2}) {
+		t.Fatalf("OutNeighbors(0) = %v", got)
+	}
+	if got := ng.OutNeighbors(2); !reflect.DeepEqual(got, []Node{0}) {
+		t.Fatalf("OutNeighbors(2) = %v (delete 2->3 not applied)", got)
+	}
+	if got := ng.OutNeighbors(3); !reflect.DeepEqual(got, []Node{3, 4}) {
+		t.Fatalf("OutNeighbors(3) = %v", got)
+	}
+	// Weights follow their edges through the rebuild.
+	if w := ng.OutWeightsOf(3); !reflect.DeepEqual(w, []uint32{60, 7}) {
+		t.Fatalf("OutWeightsOf(3) = %v", w)
+	}
+	if delta.Inserts != 2 || delta.Deletes != 1 || !delta.HasDeletes {
+		t.Fatalf("delta counts: %+v", delta)
+	}
+	if !reflect.DeepEqual(delta.Dsts, []Node{1, 3, 4}) {
+		t.Fatalf("delta.Dsts = %v", delta.Dsts)
+	}
+	if !reflect.DeepEqual(delta.DegChanged, []Node{0, 2, 3}) {
+		t.Fatalf("delta.DegChanged = %v", delta.DegChanged)
+	}
+}
+
+func TestApplyUpdatesDeleteRemovesParallelCopies(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1, 0}, {0, 1, 0}, {1, 2, 0}}, false, false)
+	ng, delta, err := ApplyUpdates(g, []EdgeUpdate{{Op: OpDelete, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.OutDegree(0) != 0 {
+		t.Fatalf("parallel copies survived: OutNeighbors(0) = %v", ng.OutNeighbors(0))
+	}
+	// Net degree change counts both removed copies.
+	if !reflect.DeepEqual(delta.DegChanged, []Node{0}) {
+		t.Fatalf("delta.DegChanged = %v", delta.DegChanged)
+	}
+}
+
+func TestApplyUpdatesBalancedSwapKeepsDegreeUnchanged(t *testing.T) {
+	g := updateTestGraph(t, false)
+	_, delta, err := ApplyUpdates(g, []EdgeUpdate{
+		{Op: OpDelete, Src: 0, Dst: 2},
+		{Op: OpInsert, Src: 0, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.DegChanged) != 0 {
+		t.Fatalf("balanced swap changed no degree, got DegChanged = %v", delta.DegChanged)
+	}
+}
+
+func TestApplyUpdatesValidation(t *testing.T) {
+	g := updateTestGraph(t, false)
+	cases := []struct {
+		name string
+		ups  []EdgeUpdate
+	}{
+		{"src out of range", []EdgeUpdate{{Op: OpInsert, Src: 5, Dst: 0}}},
+		{"dst out of range", []EdgeUpdate{{Op: OpInsert, Src: 0, Dst: 99}}},
+		{"delete nonexistent", []EdgeUpdate{{Op: OpDelete, Src: 1, Dst: 0}}},
+		{"delete twice", []EdgeUpdate{{Op: OpDelete, Src: 0, Dst: 1}, {Op: OpDelete, Src: 0, Dst: 1}}},
+		{"insert and delete same pair", []EdgeUpdate{{Op: OpInsert, Src: 0, Dst: 1}, {Op: OpDelete, Src: 0, Dst: 1}}},
+		{"delete then insert same pair", []EdgeUpdate{{Op: OpDelete, Src: 0, Dst: 1}, {Op: OpInsert, Src: 0, Dst: 1}}},
+		{"unknown op", []EdgeUpdate{{Op: 7, Src: 0, Dst: 1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := ApplyUpdates(g, c.ups); err == nil {
+				t.Fatalf("ApplyUpdates accepted %v", c.ups)
+			}
+		})
+	}
+}
+
+func TestApplyUpdatesUnweightedClampsNothing(t *testing.T) {
+	g := updateTestGraph(t, true)
+	// Weight 0 insert on a weighted graph is clamped to 1.
+	ng, _, err := ApplyUpdates(g, []EdgeUpdate{{Op: OpInsert, Src: 4, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ng.OutWeightsOf(4); !reflect.DeepEqual(w, []uint32{1}) {
+		t.Fatalf("OutWeightsOf(4) = %v, want [1]", w)
+	}
+}
+
+func TestEdgeUpdateJSONRoundTrip(t *testing.T) {
+	in := []EdgeUpdate{
+		{Op: OpInsert, Src: 1, Dst: 2, Weight: 5},
+		{Op: OpDelete, Src: 3, Dst: 4},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"op":"insert","src":1,"dst":2,"weight":5},{"op":"delete","src":3,"dst":4}]`
+	if string(data) != want {
+		t.Fatalf("wire format drifted:\n got %s\nwant %s", data, want)
+	}
+	var out []EdgeUpdate
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`[{"op":"upsert","src":0,"dst":0}]`), &out); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

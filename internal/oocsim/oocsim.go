@@ -18,6 +18,12 @@
 // only, signed 32-bit node IDs (no wdc12), and only a subset of the
 // benchmark apps (bfs, cc; the paper observed pagerank failing with
 // assertion errors, which PageRank reports).
+//
+// Edge-block streaming and vertex-data traffic are charged to the
+// app-direct memsim machine; sweeps read per-sweep snapshots (forward
+// sweeps store into owned stripes, reversed sweeps min-CAS against the
+// snapshot), so simulated times and outputs are deterministic at any
+// GOMAXPROCS, matching the engine's contract.
 package oocsim
 
 import (

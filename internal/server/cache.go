@@ -11,19 +11,29 @@ import (
 )
 
 // cacheKey builds the exact-result cache key. It covers everything a kernel
-// execution is a function of: the resident graph identity (name + load
-// epoch, so a reloaded graph never aliases its predecessor), the kernel,
-// the profile's engine parameters (engine.Config) and runtime options
-// (core.Options), the resolved per-app parameters, and the machine
-// configuration name. Because the engine is deterministic and results
-// serialize to canonical bytes (analytics.MarshalResult), equal keys imply
+// execution is a function of: the resident graph identity (name + epoch,
+// so a reloaded or updated graph never aliases its predecessor), the
+// kernel, the profile's engine parameters (engine.Config) and runtime
+// options (core.Options), the resolved per-app parameters, the machine
+// configuration name, and whether the job opted into incremental
+// execution. Because the engine is deterministic and results serialize to
+// canonical bytes (analytics.MarshalResult), equal keys imply
 // byte-identical results — a hit is provably the value a re-run would
-// compute. The key leads with "<graph>|<epoch>|" so per-graph invalidation
-// is a prefix match.
+// compute. Incremental executions get their own namespace ("|inc"): their
+// OUTPUTS are bitwise the full run's, but their charging metadata
+// (seconds, counters, algorithm) reflects the incremental path, and
+// additionally depends on whether a prior-epoch seed was retained when the
+// first such job executed — so they must never alias the full entries,
+// whose bytes ARE a pure function of the key. The key leads with
+// "<graph>|<epoch>|" so per-graph invalidation is a prefix match.
 func cacheKey(info GraphInfo, app string, p frameworks.Profile, threads int,
-	cfg engine.Config, opts core.Options, params frameworks.Params, machine string) string {
-	return fmt.Sprintf("%s|%d|%s|%s|t%d|cfg%+v|opt%+v|par%+v|m=%s",
-		info.Name, info.Epoch, app, p.Name, threads, cfg, opts, params, machine)
+	cfg engine.Config, opts core.Options, params frameworks.Params, machine string, incremental bool) string {
+	inc := ""
+	if incremental {
+		inc = "|inc"
+	}
+	return fmt.Sprintf("%s|%d|%s|%s|t%d|cfg%+v|opt%+v|par%+v|m=%s%s",
+		info.Name, info.Epoch, app, p.Name, threads, cfg, opts, params, machine, inc)
 }
 
 // graphKeyPrefix returns the prefix shared by every cache key of a graph

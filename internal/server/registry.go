@@ -1,13 +1,7 @@
-// Package server is the concurrent analytics serving layer: a long-lived
-// HTTP/JSON service (cmd/pmemserved) that keeps graphs resident in a
-// registry, runs any registered kernel under any frameworks.Profile through
-// a bounded job scheduler, and caches results by exploiting the engine's
-// byte-identical determinism — a cache hit returns exactly the bytes a
-// re-execution would produce, so hits are provably exact rather than
-// approximately fresh. See DESIGN.md "Serving layer".
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,10 +30,13 @@ type GraphInfo struct {
 	// CSRBytes is the resident CSR footprint (both directions + weights,
 	// since registry graphs are sealed).
 	CSRBytes int64 `json:"csr_bytes"`
-	// Epoch increments on every load, so cache keys from an evicted
-	// graph can never satisfy a lookup against its replacement even if
-	// the same name is reused.
+	// Epoch increments on every load and on every applied update batch,
+	// so cache keys from an evicted or pre-update graph can never satisfy
+	// a lookup against its replacement even if the same name is reused.
 	Epoch uint64 `json:"epoch"`
+	// Updates counts the update batches applied since the graph was
+	// loaded.
+	Updates int `json:"updates,omitempty"`
 }
 
 // Registry holds the graphs resident in the serving process. Graphs are
@@ -61,6 +58,12 @@ type residentGraph struct {
 	// source lookup is an O(V) degree scan that cache-hit-heavy serving
 	// must not repeat per request.
 	params frameworks.Params
+	// prevEpoch and delta record the last applied update batch (the
+	// transition prevEpoch -> info.Epoch); delta is nil for graphs whose
+	// current epoch came from a load. Incremental jobs use them to decide
+	// whether a retained seed is exactly one batch old.
+	prevEpoch uint64
+	delta     *graph.Delta
 }
 
 // NewRegistry returns an empty registry.
@@ -179,6 +182,86 @@ func (r *Registry) Defaults(name string) (frameworks.Params, bool) {
 		return frameworks.Params{}, false
 	}
 	return rg.params, true
+}
+
+// ErrUpdateConflict is returned by ApplyUpdates when the named graph
+// changed (another update batch, or an evict + reload) between the rebuild
+// and the swap; the client should re-read the graph state and retry. The
+// HTTP layer maps it to 409.
+var ErrUpdateConflict = errors.New("server: graph changed concurrently, retry the update batch")
+
+// ErrNotLoaded wraps "no such graph" failures so the HTTP layer can map
+// them to 404.
+var ErrNotLoaded = errors.New("not loaded")
+
+// ApplyUpdates applies one batched edge-update log to the named graph as a
+// new sealed epoch: the batch is validated and merged into a NEW graph
+// (graph.ApplyUpdates — the resident one is immutable and in-flight jobs
+// keep reading it), the result is sealed like any load, and the registry
+// entry is swapped under the next epoch. The rebuild runs outside the
+// registry lock; if the entry changed meanwhile the swap fails with
+// ErrUpdateConflict rather than silently dropping the concurrent change.
+// The applied Delta is retained (see UpdateState) for incremental jobs.
+func (r *Registry) ApplyUpdates(name string, ups []graph.EdgeUpdate) (GraphInfo, error) {
+	r.mu.RLock()
+	rg, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
+	}
+	oldInfo := rg.info
+	ng, delta, err := graph.ApplyUpdates(rg.g, ups)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("server: updating %q: %w", name, err)
+	}
+	seal(ng)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.graphs[name]
+	if !ok {
+		// Evicted while we rebuilt: a retry is doomed, so report 404
+		// rather than the retryable 409.
+		return GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
+	}
+	if cur.info.Epoch != oldInfo.Epoch {
+		return GraphInfo{}, ErrUpdateConflict
+	}
+	r.epoch++
+	info := GraphInfo{
+		Name:     name,
+		Source:   oldInfo.Source,
+		Nodes:    ng.NumNodes(),
+		Edges:    ng.NumEdges(),
+		CSRBytes: ng.CSRBytes(),
+		Epoch:    r.epoch,
+		Updates:  oldInfo.Updates + 1,
+	}
+	r.graphs[name] = &residentGraph{
+		info:      info,
+		g:         ng,
+		params:    frameworks.DefaultParams(ng),
+		prevEpoch: oldInfo.Epoch,
+		delta:     &delta,
+	}
+	return info, nil
+}
+
+// UpdateState returns the graph's current epoch, the epoch it held before
+// its most recent update batch, and that batch's Delta — i.e. the Delta
+// describes exactly the prevEpoch -> epoch transition. ok is false when
+// the graph is absent or its current epoch came from a load rather than
+// an update. Consumers resolving a graph separately must check that THEIR
+// resolved epoch equals the returned current epoch: a batch can commit
+// between the two lookups, and applying the newer Delta to the older
+// graph would be wrong.
+func (r *Registry) UpdateState(name string) (epoch, prevEpoch uint64, delta *graph.Delta, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg, present := r.graphs[name]
+	if !present || rg.delta == nil {
+		return 0, 0, nil, false
+	}
+	return rg.info.Epoch, rg.prevEpoch, rg.delta, true
 }
 
 // Evict unregisters name, reporting whether it was present.

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pmemgraph/internal/frameworks"
+)
+
+// seedKey identifies the artifact a frameworks.Seed belongs to: just
+// (graph, app). Unlike result bytes, seed CONTENT is a pure function of
+// the graph epoch alone — cc labels are the canonical min-ID labeling
+// every variant converges to, and a pr trajectory's round-k vector is
+// determined by the graph (threads, machine, backend and profile change
+// only charging; tolerance and round caps change only how many rounds get
+// recorded, and a shorter trajectory is still bitwise-valid input) — all
+// of which the incremental conformance suite asserts. Keying on anything
+// epoch-derived (e.g. the resolved default Source, which can move when an
+// update changes the max-degree vertex) would orphan seeds across epochs;
+// keying on profile/machine/params would only duplicate identical
+// artifacts. The key leads with "<graph>|" so eviction drops a graph's
+// seeds by prefix.
+func seedKey(info GraphInfo, app string) string {
+	return fmt.Sprintf("%s|%s", info.Name, app)
+}
+
+// seedEntry is one retained prior-epoch artifact: the seed plus the epoch
+// whose graph it was computed on. An incremental job may consume it only
+// when that epoch is exactly one update batch behind the current graph
+// (Registry.UpdateState), which is what keeps seeded executions honest —
+// a seed can never silently skip an intervening batch.
+type seedEntry struct {
+	Epoch uint64
+	Seed  *frameworks.Seed
+}
+
+// SeedStats reports seed-store occupancy.
+type SeedStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// DefaultSeedBytes bounds the seed store when Config.SeedBytes is 0.
+// PR seeds carry up to analytics.PRSeedMaxRounds rank vectors, so the
+// bound is on bytes, not entries.
+const DefaultSeedBytes = 256 << 20
+
+// seedStore retains the newest seed per execution configuration, bounded
+// by total bytes with FIFO eviction (mirroring the result cache: with
+// deterministic values there is nothing fresher to prefer within a key,
+// and FIFO keeps eviction independent of request interleaving).
+type seedStore struct {
+	mu       sync.Mutex
+	entries  map[string]seedEntry
+	order    []string
+	bytes    int64
+	maxBytes int64
+}
+
+func newSeedStore(maxBytes int64) *seedStore {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSeedBytes
+	}
+	return &seedStore{entries: make(map[string]seedEntry), maxBytes: maxBytes}
+}
+
+// Get returns the retained entry for key.
+func (s *seedStore) Get(key string) (seedEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Put retains e under key, keeping whichever of the existing and new entry
+// has the higher epoch (a slow pre-update job finishing late must not
+// clobber the seed a post-update job already recorded), then evicts the
+// oldest keys past the byte bound. An entry that alone exceeds the bound
+// is rejected outright: storing it would wipe every other configuration's
+// seed only to be evicted by the next Put, never yielding a seeded run.
+func (s *seedStore) Put(key string, e seedEntry) {
+	if e.Seed.Bytes() > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[key]; ok {
+		// Keep the newer epoch; on a tie keep the richer artifact (seed
+		// keys ignore tol/rounds, so a short pr trajectory recorded by a
+		// low-rounds job must not shadow a same-epoch full one).
+		if old.Epoch > e.Epoch || (old.Epoch == e.Epoch && old.Seed.Bytes() >= e.Seed.Bytes()) {
+			return
+		}
+		s.bytes += e.Seed.Bytes() - old.Seed.Bytes()
+		s.entries[key] = e
+		// Refresh the key's eviction position: a just-replaced seed is the
+		// hottest configuration, not the first in line for eviction.
+		for i, k := range s.order {
+			if k == key {
+				s.order = append(append(s.order[:i:i], s.order[i+1:]...), key)
+				break
+			}
+		}
+	} else {
+		s.entries[key] = e
+		s.order = append(s.order, key)
+		s.bytes += e.Seed.Bytes()
+	}
+	for s.bytes > s.maxBytes && len(s.order) > 1 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		if old, ok := s.entries[oldest]; ok {
+			s.bytes -= old.Seed.Bytes()
+			delete(s.entries, oldest)
+		}
+	}
+}
+
+// InvalidateGraph drops every seed of the named graph; called on eviction
+// (a reloaded graph under the same name must never inherit seeds, and the
+// epoch check would reject them anyway — this frees the memory).
+func (s *seedStore) InvalidateGraph(name string) int {
+	prefix := graphKeyPrefix(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	kept := s.order[:0]
+	for _, key := range s.order {
+		if strings.HasPrefix(key, prefix) {
+			if old, ok := s.entries[key]; ok {
+				s.bytes -= old.Seed.Bytes()
+				delete(s.entries, key)
+				dropped++
+			}
+			continue
+		}
+		kept = append(kept, key)
+	}
+	s.order = kept
+	return dropped
+}
+
+// Stats snapshots occupancy.
+func (s *seedStore) Stats() SeedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SeedStats{Entries: len(s.entries), Bytes: s.bytes}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -35,6 +36,8 @@ type Config struct {
 	// MaxJobs bounds retained job records (0 = DefaultMaxJobs); the
 	// oldest completed jobs are forgotten past it.
 	MaxJobs int
+	// SeedBytes bounds the incremental seed store (0 = DefaultSeedBytes).
+	SeedBytes int64
 }
 
 // DefaultMaxJobs bounds the job history when Config.MaxJobs is 0.
@@ -60,6 +63,12 @@ type JobRequest struct {
 	// NoCache bypasses the result cache (the run still executes
 	// deterministically; used to measure cold-path behavior).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Incremental opts into incremental recomputation (cc and pr only):
+	// the job is seeded from the retained prior-epoch artifact when the
+	// graph is exactly one update batch ahead of it, and falls back to a
+	// full recompute (recording a fresh seed) otherwise. Outputs are
+	// byte-identical to a full run either way; only the charging differs.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // ParamOverrides carries optional per-app parameter overrides; nil fields
@@ -99,6 +108,7 @@ type Server struct {
 	cfg   Config
 	reg   *Registry
 	cache *Cache
+	seeds *seedStore
 	sched *Scheduler
 
 	mu       sync.Mutex
@@ -130,6 +140,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		reg:     NewRegistry(),
 		cache:   NewCache(cfg.CacheEntries),
+		seeds:   newSeedStore(cfg.SeedBytes),
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
 	}
@@ -195,6 +206,9 @@ func (s *Server) validate(req JobRequest) (jobPlan, error) {
 	}
 	if !known {
 		return plan, fmt.Errorf("unknown app %q (have %s)", req.App, strings.Join(frameworks.Apps(), ", "))
+	}
+	if req.Incremental && !frameworks.IncrementalApp(req.App) {
+		return plan, fmt.Errorf("%s has no incremental variant (cc and pr only)", req.App)
 	}
 	if !p.Supports(req.App) {
 		return plan, fmt.Errorf("%s does not implement %s", p.Name, req.App)
@@ -276,8 +290,9 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 	}
 	p, params, threads := plan.profile, plan.params, plan.threads
 	// plan.opts carries the storage backend, so the cache key (which
-	// formats the options) separates raw and compressed executions.
-	key := cacheKey(plan.info, req.App, p, threads, p.Engine(), plan.opts, params, s.cfg.Machine.Name)
+	// formats the options) separates raw and compressed executions;
+	// incremental jobs get their own key namespace.
+	key := cacheKey(plan.info, req.App, p, threads, p.Engine(), plan.opts, params, s.cfg.Machine.Name, req.Incremental)
 	var fl *flight
 	if !req.NoCache {
 		if data, ok := s.cache.Get(key); ok {
@@ -304,7 +319,32 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 	}
 	s.executed.Add(1)
 	m := memsim.NewMachine(s.cfg.Machine)
-	res, err := p.RunOnOpts(m, plan.g, req.App, plan.opts, params)
+	var res *analytics.Result
+	if req.Incremental {
+		// Seeded execution: usable only when the registry's retained Delta
+		// describes exactly the transition onto THIS job's resolved epoch
+		// (a batch may commit between plan resolution and this lookup —
+		// applying the newer delta to the older graph would be wrong) and
+		// the retained seed was computed on the transition's source epoch.
+		// Anything else (no update yet, a missed batch, an evict + reload,
+		// a racing batch) runs the full path, which records a fresh seed
+		// for the next epoch.
+		skey := seedKey(plan.info, req.App)
+		var seed *frameworks.Seed
+		var delta *graph.Delta
+		if epoch, prevEpoch, d, ok := s.reg.UpdateState(req.Graph); ok && epoch == plan.info.Epoch {
+			if ent, ok := s.seeds.Get(skey); ok && ent.Epoch == prevEpoch {
+				seed, delta = ent.Seed, d
+			}
+		}
+		var newSeed *frameworks.Seed
+		res, newSeed, err = p.RunIncrementalOnOpts(m, plan.g, req.App, plan.opts, params, seed, delta)
+		if err == nil {
+			s.seeds.Put(skey, seedEntry{Epoch: plan.info.Epoch, Seed: newSeed})
+		}
+	} else {
+		res, err = p.RunOnOpts(m, plan.g, req.App, plan.opts, params)
+	}
 	if err != nil {
 		if fl != nil {
 			fl.err = err
@@ -332,6 +372,7 @@ type Stats struct {
 		ResidentBytes int64 `json:"resident_bytes"`
 	} `json:"graphs"`
 	Cache     CacheStats     `json:"cache"`
+	Seeds     SeedStats      `json:"seeds"`
 	Scheduler SchedulerStats `json:"scheduler"`
 	// KernelExecutions counts actual kernel runs; completed jobs beyond
 	// it were served by the cache or coalesced onto an in-flight run.
@@ -344,6 +385,7 @@ func (s *Server) Stats() Stats {
 	st.Graphs.Count = len(s.reg.List())
 	st.Graphs.ResidentBytes = s.reg.ResidentBytes()
 	st.Cache = s.cache.Stats()
+	st.Seeds = s.seeds.Stats()
 	st.Scheduler = s.sched.Stats()
 	st.KernelExecutions = s.executed.Load()
 	return st
@@ -376,11 +418,13 @@ type loadGraphRequest struct {
 	Path  string `json:"path,omitempty"`
 }
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API (README.md carries the full endpoint
+// reference with request/response shapes):
 //
 //	GET    /healthz                    liveness
 //	GET    /v1/graphs                  resident graphs
 //	POST   /v1/graphs                  load a Table 3 input or CSR file
+//	POST   /v1/graphs/{name}/updates   apply an edge-update batch (new epoch)
 //	DELETE /v1/graphs/{name}           evict (and invalidate cached results)
 //	POST   /v1/jobs                    submit a kernel job (?wait=1 blocks)
 //	GET    /v1/jobs                    job statuses
@@ -388,7 +432,11 @@ type loadGraphRequest struct {
 //	GET    /v1/jobs/{id}/result        canonical Result bytes
 //	GET    /v1/jobs/{id}/trace         per-round trace as a JSON array
 //	GET    /v1/jobs/{id}/trace/stream  per-round trace as NDJSON
-//	GET    /v1/stats                   cache/scheduler/registry counters
+//	GET    /v1/stats                   cache/seed/scheduler/registry counters
+//
+// Every error response from every endpoint — including the mux's own 404s
+// and 405s, which jsonErrors rewrites — is a structured JSON body of the
+// form {"error": "..."}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -398,6 +446,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.reg.List())
 	})
 	mux.HandleFunc("POST /v1/graphs", s.handleLoadGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/updates", s.handleGraphUpdates)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if !s.reg.Evict(name) {
@@ -405,6 +454,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		dropped := s.cache.InvalidateGraph(name)
+		s.seeds.InvalidateGraph(name)
 		writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "cache_entries_dropped": dropped})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
@@ -433,7 +483,101 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	return mux
+	return jsonErrors(mux)
+}
+
+// updateGraphRequest is the POST /v1/graphs/{name}/updates body.
+type updateGraphRequest struct {
+	Updates []graph.EdgeUpdate `json:"updates"`
+}
+
+// handleGraphUpdates applies one batched edge-update log: the registry
+// swaps in the rebuilt, sealed graph under a new epoch, and the old
+// epoch's cached results for this graph (and only this graph) are dropped.
+// Jobs racing the update are safe regardless of ordering: a job that
+// resolved the old graph runs on the immutable old epoch under the old
+// epoch's cache key, and any job validated after the swap sees the new
+// epoch — epoch-qualified keys make serving a pre-update result for a
+// post-update submission impossible (locked under -race by
+// TestJobsRacingUpdatesNeverObserveStaleResults).
+func (s *Server) handleGraphUpdates(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req updateGraphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	info, err := s.reg.ApplyUpdates(name, req.Updates)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrNotLoaded):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrUpdateConflict):
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	dropped := s.cache.InvalidateGraph(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":                 info,
+		"applied":               len(req.Updates),
+		"cache_entries_dropped": dropped,
+	})
+}
+
+// jsonErrors wraps the mux so its built-in plain-text error responses
+// (404 on unmatched paths, 405 on method mismatches — emitted via
+// http.Error) are rewritten into the same {"error": ...} JSON body every
+// handler in this package produces, keeping the error contract uniform
+// across the whole surface. Handler-produced responses set their own
+// Content-Type before WriteHeader and pass through untouched.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	rewrite bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(code int) {
+	// http.Error stamps text/plain before WriteHeader; handlers that
+	// speak JSON (or NDJSON) already stamped their own type.
+	if code >= 400 && strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		w.rewrite = true
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrorWriter) Write(p []byte) (int, error) {
+	if !w.rewrite {
+		return w.ResponseWriter.Write(p)
+	}
+	body, err := json.Marshal(errorBody{Error: strings.TrimRight(string(p), "\n")})
+	if err != nil {
+		return w.ResponseWriter.Write(p)
+	}
+	if _, err := w.ResponseWriter.Write(append(body, '\n')); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Flush preserves the streaming trace endpoint's flushes through the
+// wrapper.
+func (w *jsonErrorWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {

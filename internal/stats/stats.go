@@ -1,6 +1,9 @@
 // Package stats provides the small numeric helpers the experiment harness
 // uses to summarize results the way the paper does (geomean speedups,
-// ratios, human-readable sizes).
+// ratios, human-readable sizes). Pure host-side arithmetic at the bottom
+// of the dependency graph: nothing here is charged to the simulator, and
+// every function is a deterministic pure function of its inputs (Geomean
+// folds in slice order, so even float summaries are reproducible).
 package stats
 
 import (
