@@ -7,14 +7,22 @@
 // replayable streams): each batch becomes a new sealed epoch, the graph's
 // cached results are invalidated, and jobs submitted with
 // "incremental": true recompute cc/pr from the prior epoch's retained
-// seed. See the README's "pmemserved HTTP API" reference and DESIGN.md
-// "Serving layer" / "Streaming updates & incremental kernels".
+// seed. With -data-dir every loaded graph is durable: batches append to a
+// per-graph checksummed WAL before their epoch becomes visible, POST
+// /v1/graphs/{name}/checkpoint (and the automatic overlay compaction)
+// seals a .csrz snapshot and truncates the log, and a restart replays
+// snapshot + surviving log records to reconstruct the latest epoch —
+// torn or truncated tails are detected and dropped. See the README's
+// "pmemserved HTTP API" reference and DESIGN.md "Serving layer" /
+// "Streaming updates & incremental kernels" / "Durability & epoch
+// compaction".
 //
 // Usage:
 //
 //	pmemserved [-addr :8097] [-machine optane|dram|entropy]
 //	           [-scale small|full] [-workers 4] [-queue 256]
 //	           [-cache 1024] [-seed-mb 256] [-preload clueweb12,kron30]
+//	           [-data-dir /var/lib/pmemserved] [-compact-div 20]
 package main
 
 import (
@@ -38,6 +46,9 @@ func main() {
 	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "max cached results")
 	seedMB := flag.Int64("seed-mb", server.DefaultSeedBytes>>20, "max megabytes of retained incremental seeds")
 	preload := flag.String("preload", "", "comma-separated Table 3 inputs to load at startup")
+	dataDir := flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty = in-memory only")
+	compactDiv := flag.Int64("compact-div", server.DefaultCompactDiv,
+		"compact an overlay epoch once it holds more than |E|/div entries; negative disables")
 	flag.Parse()
 
 	var scale gen.Scale
@@ -70,8 +81,22 @@ func main() {
 		QueueCap:     *queue,
 		CacheEntries: *cacheEntries,
 		SeedBytes:    *seedMB << 20,
+		DataDir:      *dataDir,
+		CompactDiv:   *compactDiv,
 	})
 	defer srv.Close()
+
+	if *dataDir != "" {
+		recovered, err := srv.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmemserved: recovering %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		for _, info := range recovered {
+			fmt.Printf("recovered %s: %d nodes, %d edges, %d replayed batches\n",
+				info.Name, info.Nodes, info.Edges, info.Updates)
+		}
+	}
 
 	if *preload != "" {
 		for _, input := range strings.Split(*preload, ",") {

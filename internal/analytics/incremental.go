@@ -120,7 +120,7 @@ func PageRankIncremental(r *core.Runtime, seed *PRSeed, delta *graph.Delta, tol 
 	taintEdges := func(T []graph.Node) int64 {
 		var total int64
 		for _, v := range T {
-			total += r.G.InDegree(v) + r.G.OutDegree(v)
+			total += r.InDegree(v) + r.OutDegree(v)
 		}
 		return total
 	}
@@ -130,7 +130,7 @@ func PageRankIncremental(r *core.Runtime, seed *PRSeed, delta *graph.Delta, tol 
 	rounds := 0
 	for rounds < maxRounds {
 		rounds++
-		if !fullMode && (rounds > len(seed.Ranks) || taintEdges(T) > r.G.NumEdges()/prIncFullFrac) {
+		if !fullMode && (rounds > len(seed.Ranks) || taintEdges(T) > r.NumEdges()/prIncFullFrac) {
 			fullMode = true
 		}
 		s.publishContrib()

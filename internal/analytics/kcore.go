@@ -23,7 +23,7 @@ func kcoreDegrees(r *core.Runtime, e *engine.Engine) ([]atomic.Int64, *memsim.Ar
 	deg := make([]atomic.Int64, r.G.NumNodes())
 	arr := r.NodeArray("kcore.deg", 8)
 	e.VertexMap(engine.VertexMapArgs{
-		Fn:       func(v graph.Node) { deg[v].Store(r.G.OutDegree(v) + r.G.InDegree(v)) },
+		Fn:       func(v graph.Node) { deg[v].Store(r.OutDegree(v) + r.InDegree(v)) },
 		SeqRead:  []*memsim.Array{r.Offsets, r.InOffsets},
 		SeqWrite: []*memsim.Array{arr},
 		Ops:      true,

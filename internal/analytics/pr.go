@@ -71,7 +71,7 @@ func newPRState(r *core.Runtime) *prState {
 func (s *prState) publishContrib() {
 	s.e.VertexMap(engine.VertexMapArgs{
 		Fn: func(v graph.Node) {
-			if d := s.r.G.OutDegree(v); d > 0 {
+			if d := s.r.OutDegree(v); d > 0 {
 				s.contrib[v] = s.rank[v] / float64(d)
 			} else {
 				s.contrib[v] = 0

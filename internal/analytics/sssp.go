@@ -107,8 +107,7 @@ func SSSPDeltaStep(r *core.Runtime, src graph.Node, delta uint32) *Result {
 					if int(dv/delta) < p {
 						continue // stale entry, already settled
 					}
-					nbrs := r.OutScan(t, v, true)
-					ws := r.G.OutWeightsOf(v)
+					nbrs, ws := r.OutScanW(t, v)
 					distArr.RandomN(t, int64(len(nbrs)), true)
 					t.Op(len(nbrs))
 					for i, d := range nbrs {
@@ -185,7 +184,7 @@ func SSSPBellmanFord(r *core.Runtime, cfg engine.Config, src graph.Node) *Result
 				if du == Infinity {
 					return false
 				}
-				nd := du + r.G.OutWeights[ei]
+				nd := du + r.OutWeightAt(ei)
 				if nd < du { // overflow guard
 					return false
 				}
@@ -203,7 +202,7 @@ func SSSPBellmanFord(r *core.Runtime, cfg engine.Config, src graph.Node) *Result
 				if du == Infinity {
 					return false, false
 				}
-				nd := du + r.G.InWeights[ei]
+				nd := du + r.InWeightAt(ei)
 				if nd < du {
 					return false, false
 				}

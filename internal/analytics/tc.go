@@ -28,7 +28,7 @@ func TC(r *core.Runtime) *Result {
 		order[i] = graph.Node(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
-		di, dj := r.G.OutDegree(order[i]), r.G.OutDegree(order[j])
+		di, dj := r.OutDegree(order[i]), r.OutDegree(order[j])
 		if di != dj {
 			return di > dj
 		}
@@ -48,7 +48,7 @@ func TC(r *core.Runtime) *Result {
 	dagOff := make([]int64, n+1)
 	for v := 0; v < n; v++ {
 		cnt := int64(0)
-		for _, d := range r.G.OutNeighbors(graph.Node(v)) {
+		for _, d := range r.OutNeighbors(graph.Node(v)) {
 			if rank[d] > rank[v] {
 				cnt++
 			}
@@ -64,10 +64,10 @@ func TC(r *core.Runtime) *Result {
 		dagOffArr.WriteRange(t, int64(lo), int64(hi))
 		for v := lo; v < hi; v++ {
 			outView.ChargeScan(t, v, false)
-			rankArr.RandomN(t, r.G.OutDegree(v), false)
-			t.Op(int(r.G.OutDegree(v)))
+			rankArr.RandomN(t, r.OutDegree(v), false)
+			t.Op(int(r.OutDegree(v)))
 			c := dagOff[v]
-			for _, d := range r.G.OutNeighbors(v) {
+			for _, d := range r.OutNeighbors(v) {
 				if rank[d] > rank[v] {
 					dagEdges[c] = d
 					c++

@@ -148,6 +148,8 @@ var registry = map[string]struct {
 		FigCompress},
 	"figStream": {"Streaming updates: incremental vs full recomputation by batch size",
 		FigStream},
+	"figSeal": {"Epoch sealing: delta-overlay apply vs full CSR rebuild by batch size",
+		FigSeal},
 }
 
 // Experiments returns the registered experiment names in run order.
@@ -166,7 +168,7 @@ func orderKey(name string) string {
 		"table1": 1, "table2": 2, "table3": 3, "fig4a": 4, "fig4b": 5,
 		"fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9, "fig9": 10,
 		"fig10": 11, "table4": 12, "fig11": 13, "table5": 14,
-		"figCompress": 15, "figStream": 16,
+		"figCompress": 15, "figStream": 16, "figSeal": 17,
 	}
 	return fmt.Sprintf("%02d", order[name])
 }

@@ -10,13 +10,13 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	names := Experiments()
-	if len(names) != 16 {
-		t.Fatalf("experiments = %d, want 16 (every table and figure plus figCompress and figStream)", len(names))
+	if len(names) != 17 {
+		t.Fatalf("experiments = %d, want 17 (every table and figure plus figCompress, figStream and figSeal)", len(names))
 	}
 	// Paper order, then the repo's own backend and streaming studies.
 	want := []string{"table1", "table2", "table3", "fig4a", "fig4b", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "table5",
-		"figCompress", "figStream"}
+		"figCompress", "figStream", "figSeal"}
 	for i, n := range names {
 		if n != want[i] {
 			t.Errorf("experiment[%d] = %s, want %s", i, n, want[i])

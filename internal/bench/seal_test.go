@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"pmemgraph/internal/gen"
+)
+
+// TestFigSealOverlayBeatsRebuild is the figSeal acceptance assertion
+// (and the PR's perf criterion): for update batches no larger than
+// |E|/100, sealing an epoch through the delta overlay must be at least
+// 10x cheaper in wall-clock than the old full-CSR rebuild path.
+func TestFigSealOverlayBeatsRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph experiments are slow")
+	}
+	resetInputs()
+	t.Cleanup(resetInputs)
+	sink := &Sink{}
+	var buf bytes.Buffer
+	if err := Run("figSeal", Options{Scale: gen.ScaleSmall, Quick: true, Out: &buf, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		graph, strategy string
+		batch           int
+	}
+	times := map[key]float64{}
+	for _, r := range sink.Records() {
+		if r.Batch == 0 {
+			continue // the experiment's wall-time record
+		}
+		times[key{r.Graph, r.Algorithm, r.Batch}] = r.WallSeconds
+	}
+	if len(times) == 0 {
+		t.Fatalf("no figSeal records collected\n%s", buf.String())
+	}
+	g, _ := input("clueweb12", gen.ScaleSmall)
+	smallEnough := g.NumEdges() / 100
+	checked := 0
+	for k, rebuild := range times {
+		if k.strategy != "rebuild" || int64(k.batch) > smallEnough {
+			continue
+		}
+		overlay := times[key{k.graph, "overlay", k.batch}]
+		if overlay == 0 {
+			t.Fatalf("missing overlay record for %s batch %d\n%s", k.graph, k.batch, buf.String())
+		}
+		checked++
+		if overlay*10 > rebuild {
+			t.Errorf("%s batch=%d: overlay apply (%.6fs) is not >=10x cheaper than rebuild (%.6fs)",
+				k.graph, k.batch, overlay, rebuild)
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("no batches <= |E|/100 = %d were swept\n%s", smallEnough, buf.String())
+	}
+}

@@ -115,12 +115,23 @@ type Runtime struct {
 	M *memsim.Machine
 	G *graph.Graph
 
+	// Ov, when non-nil, layers a delta overlay over G (the sealed base of
+	// an overlay epoch): adjacency views merge the delta, degree/edge
+	// lookups dispatch through the overlay, and DeltaOut/DeltaIn model
+	// its entries as separate small simulated arrays.
+	Ov *graph.Overlay
+
 	// Simulated allocations mirroring the CSR arrays. Under
 	// BackendCompressed, Offsets/InOffsets model the byte-offset arrays,
 	// Edges/InEdges the byte-granular block data, and Weights/InWeights
 	// are nil (weights ride inside the blocks).
 	Offsets, Edges, Weights       *memsim.Array
 	InOffsets, InEdges, InWeights *memsim.Array
+
+	// DeltaOut/DeltaIn model the overlay's per-direction delta entries
+	// (8 bytes each: destination plus weight-or-delete marker); nil on
+	// plain CSR runtimes.
+	DeltaOut, DeltaIn *memsim.Array
 
 	// ZOut/ZIn are the compressed adjacency forms backing Edges/InEdges
 	// when Backend is BackendCompressed; nil otherwise.
@@ -133,19 +144,50 @@ type Runtime struct {
 	// in kernel hot loops, and constructing a view there would box the
 	// adjacency interface on every call.
 	outView, inView AdjView
+
+	// nbrBuf/inNbrBuf/wBuf are per-thread merge buffers (indexed by
+	// Thread.ID) backing OutScan/InScan/OutScanW on overlay runtimes,
+	// where no contiguous host slice of the merged adjacency exists.
+	nbrBuf, inNbrBuf [][]graph.Node
+	wBuf             [][]uint32
 }
 
 // New builds a Runtime: it allocates (and warms) the graph's topology
 // arrays on m according to opts. Warm-up models the paper's exclusion of
 // graph loading and construction time from all reported numbers.
 func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
+	return newRuntime(m, g, nil, opts)
+}
+
+// NewOverlay builds a Runtime over an overlay epoch: the base graph's
+// topology arrays are allocated exactly as New would (the base is what the
+// slow tier stores), plus one small delta array per direction for the
+// overlay's entries — the honest-charging split the delta-overlay form
+// exists for. The overlay's base must be sealed (weights and transpose
+// present) when opts request those directions.
+func NewOverlay(m *memsim.Machine, ov *graph.Overlay, opts Options) (*Runtime, error) {
+	return newRuntime(m, ov.Base(), ov, opts)
+}
+
+func newRuntime(m *memsim.Machine, g *graph.Graph, ov *graph.Overlay, opts Options) (*Runtime, error) {
 	if opts.Threads <= 0 {
 		opts.Threads = m.Config().MaxThreads()
+	}
+	if ov != nil {
+		// The overlay's side structures are derived from the base AT
+		// ApplyOverlay time; sealing the base afterwards (transpose,
+		// weights) would desynchronize them silently.
+		if opts.BothDirections && !ov.HasIn() {
+			return nil, fmt.Errorf("core: overlay epoch needs a base sealed with its transpose (BuildIn before ApplyOverlay)")
+		}
+		if opts.Weighted && !ov.Weighted() {
+			return nil, fmt.Errorf("core: overlay epoch needs a base sealed with weights (AddRandomWeights before ApplyOverlay)")
+		}
 	}
 	if opts.BothDirections {
 		g.BuildIn()
 	}
-	r := &Runtime{M: m, G: g, opts: opts}
+	r := &Runtime{M: m, G: g, Ov: ov, opts: opts}
 	n := int64(g.NumNodes())
 	e := g.NumEdges()
 
@@ -186,6 +228,9 @@ func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
 				return nil, err
 			}
 		}
+		if err := r.allocOverlay(alloc); err != nil {
+			return nil, err
+		}
 		r.buildViews()
 		return r, nil
 	}
@@ -214,8 +259,37 @@ func New(m *memsim.Machine, g *graph.Graph, opts Options) (*Runtime, error) {
 			}
 		}
 	}
+	if err := r.allocOverlay(alloc); err != nil {
+		return nil, err
+	}
 	r.buildViews()
 	return r, nil
+}
+
+// allocOverlay allocates the simulated delta arrays of an overlay runtime
+// (no-op otherwise). A direction's array is sized by its delta entries —
+// the small separate footprint overlay charging reads alongside the base
+// blocks — with a 1-element floor (memsim arrays cannot be empty).
+func (r *Runtime) allocOverlay(alloc func(name string, length, elem int64) (*memsim.Array, error)) error {
+	if r.Ov == nil {
+		return nil
+	}
+	length := func(n int64) int64 {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	var err error
+	if r.DeltaOut, err = alloc("overlay.out.delta", length(r.Ov.OutAdj(false).DeltaEntries()), 8); err != nil {
+		return err
+	}
+	if r.InOffsets != nil {
+		if r.DeltaIn, err = alloc("overlay.in.delta", length(r.Ov.InAdj(false).DeltaEntries()), 8); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MustNew is New that panics on error, for configurations the caller has
@@ -237,7 +311,7 @@ func (r *Runtime) Threads() int { return r.opts.Threads }
 // Close frees every allocation made through the runtime, releasing its
 // simulated footprint.
 func (r *Runtime) Close() {
-	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights} {
+	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights, r.DeltaOut, r.DeltaIn} {
 		if a != nil {
 			r.M.Free(a)
 		}
@@ -356,18 +430,44 @@ type AdjView struct {
 	Edges   *memsim.Array // uint32 edge elements (raw) or block bytes (compressed)
 	Weights *memsim.Array // raw weighted runtimes only; weights ride in compressed blocks
 	Z       bool
+
+	// Ov/Delta are set on overlay runtimes: Ov is Adj's concrete overlay
+	// adapter (for base-vs-delta extent splits) and Delta the simulated
+	// array its entries charge against. Base traversal charges are
+	// identical to a plain runtime's; the delta entries are charged as a
+	// separate small array — the honest-charging contract.
+	Ov    *graph.OverlayAdj
+	Delta *memsim.Array
 }
 
 // buildViews caches both directions' views once the arrays exist.
 func (r *Runtime) buildViews() {
-	if r.opts.Backend == BackendCompressed {
+	z := r.opts.Backend == BackendCompressed
+	if r.Ov != nil {
+		oa := r.Ov.OutAdj(z)
+		r.outView = AdjView{Adj: oa, Offsets: r.Offsets, Edges: r.Edges, Z: z, Ov: oa, Delta: r.DeltaOut}
+		if !z {
+			r.outView.Weights = r.Weights
+		}
+		if r.InOffsets == nil {
+			r.inView = AdjView{}
+		} else {
+			ia := r.Ov.InAdj(z)
+			r.inView = AdjView{Adj: ia, Offsets: r.InOffsets, Edges: r.InEdges, Z: z, Ov: ia, Delta: r.DeltaIn}
+			if !z {
+				r.inView.Weights = r.InWeights
+			}
+		}
+		return
+	}
+	if z {
 		r.outView = AdjView{Adj: r.ZOut, Offsets: r.Offsets, Edges: r.Edges, Z: true}
 	} else {
 		r.outView = AdjView{Adj: r.G.RawOut(), Offsets: r.Offsets, Edges: r.Edges, Weights: r.Weights}
 	}
 	if r.InOffsets == nil {
 		r.inView = AdjView{}
-	} else if r.opts.Backend == BackendCompressed {
+	} else if z {
 		r.inView = AdjView{Adj: r.ZIn, Offsets: r.InOffsets, Edges: r.InEdges, Z: true}
 	} else {
 		r.inView = AdjView{Adj: r.G.RawIn(), Offsets: r.InOffsets, Edges: r.InEdges, Weights: r.InWeights}
@@ -392,22 +492,40 @@ func (av AdjView) ChargeScan(t *memsim.Thread, v graph.Node, weighted bool) {
 	lo, hi := av.Adj.Extent(v)
 	av.Edges.ReadRange(t, lo, hi)
 	if av.Z {
-		t.Decode(1, av.Adj.Degree(v))
+		deg := av.Adj.Degree(v)
+		if av.Ov != nil {
+			deg = av.Ov.BaseDegree(v) // the base block decodes whole
+		}
+		t.Decode(1, deg)
+	} else if weighted && av.Weights != nil {
+		av.Weights.ReadRange(t, lo, hi)
+	}
+	av.chargeDelta(t, v)
+}
+
+// chargeDelta streams v's overlay delta entries (no-op off overlays and
+// for untouched vertices).
+func (av AdjView) chargeDelta(t *memsim.Thread, v graph.Node) {
+	if av.Ov == nil {
 		return
 	}
-	if weighted && av.Weights != nil {
-		av.Weights.ReadRange(t, lo, hi)
+	if dlo, dhi := av.Ov.DeltaExtent(v); dhi > dlo {
+		av.Delta.ReadRange(t, dlo, dhi)
 	}
 }
 
 // ChargePrefix charges an early-exited scan of v's block that consumed
-// `consumed` backing elements (a Cursor's Consumed value) covering k
-// edges.
-func (av AdjView) ChargePrefix(t *memsim.Thread, v graph.Node, consumed, k int64) {
+// `consumed` base backing elements and `deltaConsumed` overlay delta
+// entries (a Cursor's Consumed and DeltaConsumed values) covering k edges.
+func (av AdjView) ChargePrefix(t *memsim.Thread, v graph.Node, consumed, deltaConsumed, k int64) {
 	lo, _ := av.Adj.Extent(v)
 	av.Edges.ReadRange(t, lo, lo+consumed)
 	if av.Z {
 		t.Decode(1, k)
+	}
+	if av.Ov != nil && deltaConsumed > 0 {
+		dlo, _ := av.Ov.DeltaExtent(v)
+		av.Delta.ReadRange(t, dlo, dlo+deltaConsumed)
 	}
 }
 
@@ -422,11 +540,16 @@ func (av AdjView) ChargeBlock(t *memsim.Thread, lo, hi graph.Node, weighted bool
 	elo, ehi := av.Adj.ExtentRange(lo, hi)
 	av.Edges.ReadRange(t, elo, ehi)
 	if av.Z {
+		// Base(v) keeps base semantics under overlays, so this is the
+		// base edge count of the range — exactly what must be decoded.
 		t.Decode(int64(hi-lo), av.Adj.Base(hi)-av.Adj.Base(lo))
-		return
-	}
-	if weighted && av.Weights != nil {
+	} else if weighted && av.Weights != nil {
 		av.Weights.ReadRange(t, elo, ehi)
+	}
+	if av.Ov != nil {
+		if dlo, dhi := av.Ov.DeltaExtentRange(lo, hi); dhi > dlo {
+			av.Delta.ReadRange(t, dlo, dhi)
+		}
 	}
 }
 
@@ -451,21 +574,82 @@ func (r *Runtime) InWeighted() bool {
 	return r.InWeights != nil
 }
 
+// fillNbrs drains a cursor into buf (merged adjacency for overlay views,
+// base order otherwise).
+func fillNbrs(av AdjView, v graph.Node, buf []graph.Node) []graph.Node {
+	c := av.Adj.Cursor(v)
+	for {
+		d, ok := c.Next()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, d)
+	}
+}
+
 // OutScan charges the reads that visiting v's out-edges performs (offset
 // pair, adjacency block, and weights if requested) and returns the
-// neighbor slice (always the raw alias; under the compressed backend the
-// charge covers block bytes plus decode).
+// neighbor slice: the raw alias on plain runtimes, a per-thread merged
+// buffer on overlay runtimes (valid until t's next OutScan).
 func (r *Runtime) OutScan(t *memsim.Thread, v graph.Node, weights bool) []graph.Node {
 	r.Offsets.ReadN(t, int64(v), 2)
 	r.OutView().ChargeScan(t, v, weights)
-	return r.G.OutEdges[r.G.OutOffsets[v]:r.G.OutOffsets[v+1]]
+	if r.Ov == nil {
+		return r.G.OutEdges[r.G.OutOffsets[v]:r.G.OutOffsets[v+1]]
+	}
+	buf := fillNbrs(r.outView, v, r.nbrBufFor(t)[:0])
+	r.nbrBuf[t.ID] = buf
+	return buf
+}
+
+// OutScanW is OutScan plus the parallel weight slice (weighted runtimes
+// only): aliases of the base arrays on plain runtimes, per-thread merged
+// buffers on overlay runtimes.
+func (r *Runtime) OutScanW(t *memsim.Thread, v graph.Node) ([]graph.Node, []uint32) {
+	r.Offsets.ReadN(t, int64(v), 2)
+	r.OutView().ChargeScan(t, v, true)
+	if r.Ov == nil {
+		lo, hi := r.G.OutOffsets[v], r.G.OutOffsets[v+1]
+		return r.G.OutEdges[lo:hi], r.G.OutWeights[lo:hi]
+	}
+	nbrs := r.nbrBufFor(t)[:0]
+	ws := r.wBuf[t.ID][:0]
+	c := r.outView.Adj.Cursor(v)
+	for {
+		d, ok := c.Next()
+		if !ok {
+			break
+		}
+		nbrs = append(nbrs, d)
+		ws = append(ws, r.Ov.OutWeight(c.EI()))
+	}
+	r.nbrBuf[t.ID], r.wBuf[t.ID] = nbrs, ws
+	return nbrs, ws
 }
 
 // InScan is OutScan for the in-direction; the transpose must be allocated.
 func (r *Runtime) InScan(t *memsim.Thread, v graph.Node, weights bool) []graph.Node {
 	r.InOffsets.ReadN(t, int64(v), 2)
 	r.InView().ChargeScan(t, v, weights)
-	return r.G.InEdges[r.G.InOffsets[v]:r.G.InOffsets[v+1]]
+	if r.Ov == nil {
+		return r.G.InEdges[r.G.InOffsets[v]:r.G.InOffsets[v+1]]
+	}
+	if r.inNbrBuf == nil {
+		r.inNbrBuf = make([][]graph.Node, r.RegionThreads())
+	}
+	buf := fillNbrs(r.inView, v, r.inNbrBuf[t.ID][:0])
+	r.inNbrBuf[t.ID] = buf
+	return buf
+}
+
+// nbrBufFor returns t's out-direction merge buffer, sizing the shard set
+// lazily (overlay runtimes only).
+func (r *Runtime) nbrBufFor(t *memsim.Thread) []graph.Node {
+	if r.nbrBuf == nil {
+		r.nbrBuf = make([][]graph.Node, r.RegionThreads())
+		r.wBuf = make([][]uint32, r.RegionThreads())
+	}
+	return r.nbrBuf[t.ID]
 }
 
 // scanPrefix charges reads for only the first k neighbors of v in av's
@@ -490,10 +674,30 @@ func scanPrefix(av AdjView, t *memsim.Thread, v graph.Node, k int64) {
 	t.Decode(1, k)
 }
 
+// prefixOverlay walks the first k merged neighbors of v through a cursor
+// and charges exactly the base elements and delta entries it consumed.
+func (r *Runtime) prefixOverlay(av AdjView, t *memsim.Thread, v graph.Node, k int64, buf []graph.Node) []graph.Node {
+	c := av.Adj.Cursor(v)
+	for int64(len(buf)) < k {
+		d, ok := c.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, d)
+	}
+	av.ChargePrefix(t, v, c.Consumed(), c.DeltaConsumed(), int64(len(buf)))
+	return buf
+}
+
 // OutScanPrefix charges reads for only the first k out-neighbors of v
 // (early-exit scans, e.g. direction-optimizing pull).
 func (r *Runtime) OutScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.Node {
 	r.Offsets.ReadN(t, int64(v), 2)
+	if r.Ov != nil {
+		buf := r.prefixOverlay(r.outView, t, v, k, r.nbrBufFor(t)[:0])
+		r.nbrBuf[t.ID] = buf
+		return buf
+	}
 	scanPrefix(r.OutView(), t, v, k)
 	lo, hi := r.G.OutOffsets[v], r.G.OutOffsets[v+1]
 	if lo+k < hi {
@@ -505,12 +709,77 @@ func (r *Runtime) OutScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph
 // InScanPrefix charges reads for only the first k in-neighbors of v.
 func (r *Runtime) InScanPrefix(t *memsim.Thread, v graph.Node, k int64) []graph.Node {
 	r.InOffsets.ReadN(t, int64(v), 2)
+	if r.Ov != nil {
+		if r.inNbrBuf == nil {
+			r.inNbrBuf = make([][]graph.Node, r.RegionThreads())
+		}
+		buf := r.prefixOverlay(r.inView, t, v, k, r.inNbrBuf[t.ID][:0])
+		r.inNbrBuf[t.ID] = buf
+		return buf
+	}
 	scanPrefix(r.InView(), t, v, k)
 	lo, hi := r.G.InOffsets[v], r.G.InOffsets[v+1]
 	if lo+k < hi {
 		hi = lo + k
 	}
 	return r.G.InEdges[lo:hi]
+}
+
+// NumNodes dispatches the vertex count (identical on every epoch form).
+func (r *Runtime) NumNodes() int { return r.G.NumNodes() }
+
+// NumEdges dispatches the edge count of the epoch the runtime serves: the
+// merged base+delta count on overlay epochs, the CSR count otherwise.
+// Kernels must use this (not r.G.NumEdges()) for |E|-derived thresholds so
+// overlay and rebuilt epochs take identical push/pull decisions.
+func (r *Runtime) NumEdges() int64 {
+	if r.Ov != nil {
+		return r.Ov.NumEdges()
+	}
+	return r.G.NumEdges()
+}
+
+// OutDegree dispatches the merged out-degree of v.
+func (r *Runtime) OutDegree(v graph.Node) int64 {
+	if r.Ov != nil {
+		return r.Ov.OutDegree(v)
+	}
+	return r.G.OutDegree(v)
+}
+
+// InDegree dispatches the merged in-degree of v.
+func (r *Runtime) InDegree(v graph.Node) int64 {
+	if r.Ov != nil {
+		return r.Ov.InDegree(v)
+	}
+	return r.G.InDegree(v)
+}
+
+// OutNeighbors returns v's merged out-adjacency without charging the
+// simulated machine (callers charge via ChargeScan etc.): the CSR alias on
+// plain runtimes, a freshly built slice on overlay runtimes.
+func (r *Runtime) OutNeighbors(v graph.Node) []graph.Node {
+	if r.Ov == nil {
+		return r.G.OutNeighbors(v)
+	}
+	return fillNbrs(r.outView, v, make([]graph.Node, 0, r.Ov.OutDegree(v)))
+}
+
+// OutWeightAt dispatches the weight of out-edge index ei (a Cursor.EI
+// value: base CSR index, or |E_base|+i for the i-th overlay insert).
+func (r *Runtime) OutWeightAt(ei int64) uint32 {
+	if r.Ov != nil {
+		return r.Ov.OutWeight(ei)
+	}
+	return r.G.OutWeights[ei]
+}
+
+// InWeightAt is OutWeightAt for the transpose direction.
+func (r *Runtime) InWeightAt(ei int64) uint32 {
+	if r.Ov != nil {
+		return r.Ov.InWeight(ei)
+	}
+	return r.G.InWeights[ei]
 }
 
 // ChargeOutBlock charges one batched scan of the offsets and out-edge
@@ -534,7 +803,7 @@ func (r *Runtime) ChargeInBlock(t *memsim.Thread, lo, hi graph.Node, weights boo
 // both backends.
 func (r *Runtime) TopologyReadBytes() uint64 {
 	var total uint64
-	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights} {
+	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights, r.DeltaOut, r.DeltaIn} {
 		if a != nil {
 			read, _ := a.Traffic()
 			total += read
@@ -547,7 +816,7 @@ func (r *Runtime) TopologyReadBytes() uint64 {
 // topology (the §6.1 both-directions-vs-needed-direction comparison).
 func (r *Runtime) FootprintBytes() int64 {
 	var total int64
-	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights} {
+	for _, a := range []*memsim.Array{r.Offsets, r.Edges, r.Weights, r.InOffsets, r.InEdges, r.InWeights, r.DeltaOut, r.DeltaIn} {
 		if a != nil {
 			total += a.Bytes()
 		}

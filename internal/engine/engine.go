@@ -161,7 +161,7 @@ func (e *Engine) wantDense(count, outEdges int64) bool {
 	case RepDense:
 		return true
 	default:
-		return count+outEdges > e.R.G.NumEdges()/e.cfg.DenseFrac
+		return count+outEdges > e.R.NumEdges()/e.cfg.DenseFrac
 	}
 }
 
@@ -173,7 +173,7 @@ func (e *Engine) NewFrontier(vs ...graph.Node) *Frontier {
 	f := &Frontier{
 		n:        n,
 		count:    int64(len(vs)),
-		outEdges: sumOutDegrees(e.R.G, vs),
+		outEdges: sumOutDegrees(e.R, vs),
 	}
 	if e.wantDense(f.count, f.outEdges) {
 		f.isDense = true
@@ -192,7 +192,7 @@ func (e *Engine) SparseFrontier(vs []graph.Node) *Frontier {
 		n:        e.R.G.NumNodes(),
 		sparse:   vs,
 		count:    int64(len(vs)),
-		outEdges: sumOutDegrees(e.R.G, vs),
+		outEdges: sumOutDegrees(e.R, vs),
 	}
 }
 
@@ -200,7 +200,7 @@ func (e *Engine) SparseFrontier(vs []graph.Node) *Frontier {
 // topology-driven kernels).
 func (e *Engine) FullFrontier() *Frontier {
 	n := e.R.G.NumNodes()
-	f := &Frontier{n: n, count: int64(n), outEdges: e.R.G.NumEdges()}
+	f := &Frontier{n: n, count: int64(n), outEdges: e.R.NumEdges()}
 	if e.wantDense(f.count, f.outEdges) {
 		f.isDense = true
 		f.dense = worklist.Full(n)
@@ -286,7 +286,7 @@ func (e *Engine) EdgeMap(f *Frontier, args EdgeMapArgs) *Frontier {
 	case e.cfg.Dir == DirPush:
 		// push only
 	default:
-		pull = f.count+f.outEdges > e.R.G.NumEdges()/e.cfg.PullFrac
+		pull = f.count+f.outEdges > e.R.NumEdges()/e.cfg.PullFrac
 	}
 
 	e.rounds++
@@ -335,11 +335,10 @@ func (e *Engine) mergeClaims(n int) *Frontier {
 		e.claims[i] = e.claims[i][:0]
 	}
 	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	g := e.R.G
 	var outEdges int64
 	for _, v := range vs {
 		e.dedup.Unset(v)
-		outEdges += g.OutDegree(v)
+		outEdges += e.R.OutDegree(v)
 	}
 	return &Frontier{n: n, sparse: vs, count: int64(len(vs)), outEdges: outEdges}
 }
@@ -434,7 +433,6 @@ func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapAr
 	if chargeEdges {
 		e.out.ChargeScan(t, u, args.Weighted)
 	}
-	base := e.out.Adj.Base(u)
 	cur := e.out.Adj.Cursor(u)
 	edges := int64(0)
 	for {
@@ -442,7 +440,7 @@ func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapAr
 		if !ok {
 			break
 		}
-		if args.Push(u, d, base+edges) {
+		if args.Push(u, d, cur.EI()) {
 			activate(d)
 		}
 		edges++
@@ -451,7 +449,6 @@ func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapAr
 		if chargeEdges {
 			e.in.ChargeScan(t, u, false)
 		}
-		ibase := e.in.Adj.Base(u)
 		icur := e.in.Adj.Cursor(u)
 		k := int64(0)
 		for {
@@ -459,7 +456,7 @@ func (e *Engine) scanPushCharged(t *memsim.Thread, u graph.Node, args *EdgeMapAr
 			if !ok {
 				break
 			}
-			if args.Push(u, d, ibase+k) {
+			if args.Push(u, d, icur.EI()) {
 				activate(d)
 			}
 			k++
@@ -494,7 +491,6 @@ func (e *Engine) chargePushChunk(t *memsim.Thread, args *EdgeMapArgs, verts, edg
 // scans (PullCond == nil) are charged as contiguous blocks; early-exit
 // scans as per-vertex prefixes.
 func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
-	g := e.R.G
 	n := int64(f.n)
 	nextSet := worklist.NewDense(f.n)
 	whole := args.PullCond == nil
@@ -528,7 +524,6 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 			chunkVerts++
 			active := false
 			stopped := false
-			ibase := e.in.Adj.Base(v)
 			icur := e.in.Adj.Cursor(v)
 			scanned := int64(0)
 			for {
@@ -536,7 +531,7 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 				if !ok {
 					break
 				}
-				a, stop := args.Pull(v, u, ibase+scanned)
+				a, stop := args.Pull(v, u, icur.EI())
 				scanned++
 				active = active || a
 				if stop {
@@ -545,11 +540,10 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 				}
 			}
 			if !whole {
-				e.in.ChargePrefix(t, v, icur.Consumed(), scanned)
+				e.in.ChargePrefix(t, v, icur.Consumed(), icur.DeltaConsumed(), scanned)
 			}
 			chunkScanned += scanned
 			if args.Symmetric && !stopped {
-				obase := e.out.Adj.Base(v)
 				ocur := e.out.Adj.Cursor(v)
 				oscanned := int64(0)
 				for {
@@ -557,7 +551,7 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 					if !ok {
 						break
 					}
-					a, stop := args.Pull(v, u, obase+oscanned)
+					a, stop := args.Pull(v, u, ocur.EI())
 					oscanned++
 					active = active || a
 					if stop {
@@ -565,13 +559,13 @@ func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Front
 					}
 				}
 				if !whole {
-					e.out.ChargePrefix(t, v, ocur.Consumed(), oscanned)
+					e.out.ChargePrefix(t, v, ocur.Consumed(), ocur.DeltaConsumed(), oscanned)
 				}
 				chunkScanned += oscanned
 			}
 			if active && nextSet.Set(v) {
 				activated++
-				nextOut += g.OutDegree(v)
+				nextOut += e.R.OutDegree(v)
 			}
 			if args.OnPullDone != nil {
 				args.OnPullDone(v)
@@ -676,7 +670,6 @@ func (e *Engine) VertexMap(a VertexMapArgs) memsim.RegionStats {
 // kept set is deterministic); the merge concatenates the buffers in thread
 // order and sorts by ID.
 func (e *Engine) VertexFilter(a VertexMapArgs, keep func(v graph.Node) bool) *Frontier {
-	g := e.R.G
 	e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
 		e.chargeVertexChunk(t, &a, lo, hi)
 		buf := e.claims[t.ID]
@@ -701,9 +694,9 @@ func (e *Engine) VertexFilter(a VertexMapArgs, keep func(v graph.Node) bool) *Fr
 	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 	var outEdges int64
 	for _, v := range vs {
-		outEdges += g.OutDegree(v)
+		outEdges += e.R.OutDegree(v)
 	}
-	f := &Frontier{n: g.NumNodes(), sparse: vs, count: int64(len(vs)), outEdges: outEdges}
+	f := &Frontier{n: e.R.NumNodes(), sparse: vs, count: int64(len(vs)), outEdges: outEdges}
 	if f.count > 0 && e.wantDense(f.count, f.outEdges) {
 		f.dense = worklist.FromVertices(f.n, f.sparse)
 		f.isDense = true

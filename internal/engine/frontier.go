@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"pmemgraph/internal/core"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/worklist"
 )
@@ -58,11 +59,12 @@ func (f *Frontier) Vertices() []graph.Node {
 	return f.sparse
 }
 
-// sumOutDegrees computes the out-edge total of a vertex set.
-func sumOutDegrees(g *graph.Graph, vs []graph.Node) int64 {
+// sumOutDegrees computes the out-edge total of a vertex set on the epoch
+// the runtime serves (merged degrees on overlay epochs).
+func sumOutDegrees(r *core.Runtime, vs []graph.Node) int64 {
 	var total int64
 	for _, v := range vs {
-		total += g.OutDegree(v)
+		total += r.OutDegree(v)
 	}
 	return total
 }

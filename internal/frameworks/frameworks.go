@@ -236,9 +236,22 @@ type Params struct {
 // graph: source = max out-degree node, k scaled to the input's density.
 func DefaultParams(g *graph.Graph) Params {
 	src, _ := g.MaxOutDegreeNode()
+	return defaultParams(src, g.NumNodes(), g.NumEdges())
+}
+
+// DefaultParamsOverlay is DefaultParams computed on an overlay epoch's
+// merged view (same tie rule for the source pick, merged edge count for
+// the density scaling), so a job on an overlay epoch and on the same
+// epoch rebuilt from scratch default to identical parameters.
+func DefaultParamsOverlay(ov *graph.Overlay) Params {
+	src, _ := ov.MaxOutDegreeNode()
+	return defaultParams(src, ov.NumNodes(), ov.NumEdges())
+}
+
+func defaultParams(src graph.Node, nodes int, edges int64) Params {
 	avg := int64(1)
-	if g.NumNodes() > 0 {
-		avg = g.NumEdges() / int64(g.NumNodes())
+	if nodes > 0 {
+		avg = edges / int64(nodes)
 	}
 	k := int64(analytics.KCoreDefaultK)
 	// The paper's k=100 is ~2-6x the average degree of its inputs;
@@ -323,15 +336,42 @@ func (p Profile) RunOnBackend(m *memsim.Machine, g *graph.Graph, app string, thr
 // use this so the executed configuration and the derived one cannot
 // drift; opts should come from p.Options plus deliberate overrides.
 func (p Profile) RunOnOpts(m *memsim.Machine, g *graph.Graph, app string, opts core.Options, params Params) (*analytics.Result, error) {
-	if opts.Weighted && !g.HasWeights() {
-		g.AddRandomWeights(DefaultWeightMax, DefaultWeightSeed)
-	}
-	r, err := core.New(m, g, opts)
+	r, err := buildRuntime(m, g, nil, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
 	return p.Run(r, app, params)
+}
+
+// RunOverlayOnOpts is RunOnOpts over an overlay epoch: the runtime charges
+// the sealed base exactly as a plain run would plus the overlay's delta
+// entries as separate small arrays. Outputs are byte-identical to
+// RunOnOpts over ov.Materialize() sealed the same way — the conformance
+// bar the delta-overlay form is held to.
+func (p Profile) RunOverlayOnOpts(m *memsim.Machine, ov *graph.Overlay, app string, opts core.Options, params Params) (*analytics.Result, error) {
+	r, err := buildRuntime(m, ov.Base(), ov, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return p.Run(r, app, params)
+}
+
+// buildRuntime constructs the plain or overlay runtime RunOnOpts-family
+// helpers share. Plain bases are weight-sealed on demand; overlay bases
+// must have been sealed BEFORE ApplyOverlay (the overlay's delta
+// structures are derived from the base at that moment), so a weighted run
+// over an unweighted overlay is refused by core.NewOverlay rather than
+// silently reseeded here.
+func buildRuntime(m *memsim.Machine, g *graph.Graph, ov *graph.Overlay, opts core.Options) (*core.Runtime, error) {
+	if ov != nil {
+		return core.NewOverlay(m, ov, opts)
+	}
+	if opts.Weighted && !g.HasWeights() {
+		g.AddRandomWeights(DefaultWeightMax, DefaultWeightSeed)
+	}
+	return core.New(m, g, opts)
 }
 
 // Apps returns the paper's benchmark names in presentation order.
@@ -383,6 +423,17 @@ func IncrementalApp(app string) bool { return app == "cc" || app == "pr" }
 // fallback IS a from-scratch run — and a new Seed for the next epoch is
 // returned alongside the result.
 func (p Profile) RunIncrementalOnOpts(m *memsim.Machine, g *graph.Graph, app string, opts core.Options, params Params, seed *Seed, delta *graph.Delta) (*analytics.Result, *Seed, error) {
+	return p.runIncremental(m, g, nil, app, opts, params, seed, delta)
+}
+
+// RunIncrementalOverlayOnOpts is RunIncrementalOnOpts over an overlay
+// epoch (seed and delta semantics are identical; only the runtime's
+// storage form differs).
+func (p Profile) RunIncrementalOverlayOnOpts(m *memsim.Machine, ov *graph.Overlay, app string, opts core.Options, params Params, seed *Seed, delta *graph.Delta) (*analytics.Result, *Seed, error) {
+	return p.runIncremental(m, ov.Base(), ov, app, opts, params, seed, delta)
+}
+
+func (p Profile) runIncremental(m *memsim.Machine, g *graph.Graph, ov *graph.Overlay, app string, opts core.Options, params Params, seed *Seed, delta *graph.Delta) (*analytics.Result, *Seed, error) {
 	if !IncrementalApp(app) {
 		return nil, nil, fmt.Errorf("frameworks: %s has no incremental variant (cc and pr only)", app)
 	}
@@ -392,15 +443,12 @@ func (p Profile) RunIncrementalOnOpts(m *memsim.Machine, g *graph.Graph, app str
 	if !p.CanLoad(g) {
 		return nil, nil, fmt.Errorf("frameworks: %s cannot load %d nodes (signed 32-bit node IDs)", p.Name, g.NumNodes())
 	}
-	if opts.Weighted && !g.HasWeights() {
-		g.AddRandomWeights(DefaultWeightMax, DefaultWeightSeed)
-	}
-	r, err := core.New(m, g, opts)
+	r, err := buildRuntime(m, g, ov, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer r.Close()
-	largeDelta := delta == nil || int64(delta.Edges())*IncrementalMaxDeltaFrac > g.NumEdges()
+	largeDelta := delta == nil || int64(delta.Edges())*IncrementalMaxDeltaFrac > r.NumEdges()
 	switch app {
 	case "cc":
 		if largeDelta || delta.HasDeletes || !p.ArbitraryOps ||

@@ -55,7 +55,10 @@ type Adjacency interface {
 }
 
 // Cursor iterates one vertex's neighbors without allocating; it is
-// returned by value and handles both adjacency forms.
+// returned by value and handles all three adjacency forms: raw slices,
+// compressed blocks, and a delta overlay layered over either (the base
+// stream with deleted pairs filtered, merged against the sorted insert
+// list, base copies first on destination ties).
 type Cursor struct {
 	// Raw form: a window over the edge slice.
 	nbrs []Node
@@ -67,15 +70,36 @@ type Cursor struct {
 	prev     int64
 	rem      int64
 	weighted bool
+
+	// Edge-index tracking: base is the vertex's first base edge index,
+	// cnt the base edges yielded so far, ei the index of the last
+	// neighbor returned (under the overlay ei contract inserts get
+	// ovInsEI + their position instead).
+	base, cnt, ei int64
+
+	// Overlay form (ov true): sorted insert and deleted-pair lists for
+	// the vertex, a one-slot base lookahead, and the insert ei base.
+	ov         bool
+	ovIns      []Node
+	ovInsPos   int
+	ovInsEI    int64
+	ovDel      []Node
+	ovDelPos   int
+	ovPeek     Node
+	ovPeekEI   int64
+	ovHasPeek  bool
+	ovBaseDone bool
 }
 
-// Next returns the next neighbor, or ok=false at the end of the block.
-func (c *Cursor) Next() (Node, bool) {
+// baseNext advances the underlying raw or compressed stream, maintaining
+// the base edge index.
+func (c *Cursor) baseNext() (Node, bool) {
 	if c.data == nil {
 		if c.i >= len(c.nbrs) {
 			return 0, false
 		}
 		d := c.nbrs[c.i]
+		c.ei = c.base + int64(c.i)
 		c.i++
 		return d, true
 	}
@@ -90,17 +114,67 @@ func (c *Cursor) Next() (Node, bool) {
 		c.pos += wn
 	}
 	c.rem--
+	c.ei = c.base + c.cnt
+	c.cnt++
 	return Node(c.prev), true
 }
 
-// Consumed returns the backing elements consumed so far — edges for the
-// raw form, bytes for the compressed form — so early-exited scans can
-// charge exactly the prefix they streamed.
+// Next returns the next neighbor, or ok=false at the end of the block.
+func (c *Cursor) Next() (Node, bool) {
+	if !c.ov {
+		return c.baseNext()
+	}
+	// Refill the base lookahead, skipping every copy of deleted pairs.
+	for !c.ovHasPeek && !c.ovBaseDone {
+		d, ok := c.baseNext()
+		if !ok {
+			c.ovBaseDone = true
+			break
+		}
+		for c.ovDelPos < len(c.ovDel) && c.ovDel[c.ovDelPos] < d {
+			c.ovDelPos++
+		}
+		if c.ovDelPos < len(c.ovDel) && c.ovDel[c.ovDelPos] == d {
+			continue // deleted copy: skip, keep delPos (parallel copies follow)
+		}
+		c.ovPeek, c.ovPeekEI, c.ovHasPeek = d, c.ei, true
+	}
+	// Merge: surviving base edge first on ties with an insert.
+	if c.ovHasPeek && (c.ovInsPos >= len(c.ovIns) || c.ovPeek <= c.ovIns[c.ovInsPos]) {
+		c.ovHasPeek = false
+		c.ei = c.ovPeekEI
+		return c.ovPeek, true
+	}
+	if c.ovInsPos < len(c.ovIns) {
+		d := c.ovIns[c.ovInsPos]
+		c.ei = c.ovInsEI + int64(c.ovInsPos)
+		c.ovInsPos++
+		return d, true
+	}
+	return 0, false
+}
+
+// EI returns the edge index of the last neighbor Next returned: the
+// direction's edge-array index for base edges, |E_base| + insert position
+// for overlay inserts. Operators receive it instead of Base(v)+k, which
+// keeps edge indices correct across all three adjacency forms.
+func (c *Cursor) EI() int64 { return c.ei }
+
+// Consumed returns the base backing elements consumed so far — edges for
+// the raw form, bytes for the compressed form — so early-exited scans can
+// charge exactly the prefix they streamed. Overlay delta entries consumed
+// are reported separately by DeltaConsumed.
 func (c *Cursor) Consumed() int64 {
 	if c.data == nil {
 		return int64(c.i)
 	}
 	return int64(c.pos)
+}
+
+// DeltaConsumed returns the overlay delta entries (inserts yielded plus
+// deleted pairs passed) consumed so far; zero for non-overlay cursors.
+func (c *Cursor) DeltaConsumed() int64 {
+	return int64(c.ovInsPos + c.ovDelPos)
 }
 
 // RawAdjacency adapts one direction's raw CSR slices to Adjacency.
@@ -132,7 +206,7 @@ func (a RawAdjacency) ExtentRange(lo, hi Node) (int64, int64) {
 	return a.Offsets[lo], a.Offsets[hi]
 }
 func (a RawAdjacency) Cursor(v Node) Cursor {
-	return Cursor{nbrs: a.Edges[a.Offsets[v]:a.Offsets[v+1]]}
+	return Cursor{nbrs: a.Edges[a.Offsets[v]:a.Offsets[v+1]], base: a.Offsets[v]}
 }
 
 // CompressedCSR is one direction's adjacency in delta+varint block form.
@@ -176,7 +250,7 @@ func (z *CompressedCSR) Bytes() int64 {
 // Cursor returns a decoder positioned after v's degree varint.
 func (z *CompressedCSR) Cursor(v Node) Cursor {
 	block := z.Data[z.ByteOffsets[v]:z.ByteOffsets[v+1]]
-	c := Cursor{data: block, prev: int64(v), weighted: z.weighted}
+	c := Cursor{data: block, prev: int64(v), weighted: z.weighted, base: z.EdgeOffsets[v]}
 	deg, n := binary.Uvarint(block)
 	c.pos = n
 	c.rem = int64(deg)

@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"encoding/binary"
+	"reflect"
 	"testing"
 )
 
@@ -175,6 +176,81 @@ func FuzzReadCSRZ(f *testing.F) {
 		}
 		if viaRaw.NumEdges() != got.NumEdges() {
 			t.Fatalf("raw cross-decode changed edge count: %d -> %d", got.NumEdges(), viaRaw.NumEdges())
+		}
+	})
+}
+
+// FuzzReadLog drives the WAL decoder with arbitrary bytes, mirroring
+// FuzzReadCSR's hostile-header posture: ReadLog never panics, never
+// reports an error on plain corruption (it returns the valid prefix), and
+// whatever it accepts re-encodes into a log that replays identically — so
+// crash recovery's rewrite-the-valid-prefix step is a fixed point.
+func FuzzReadLog(f *testing.F) {
+	mkLog := func(batches [][]EdgeUpdate) []byte {
+		var buf bytes.Buffer
+		for i, b := range batches {
+			if err := AppendLog(&buf, uint64(i+1), b); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	// Seed 1: a valid multi-record log.
+	valid := mkLog([][]EdgeUpdate{
+		{{Op: OpInsert, Src: 0, Dst: 1, Weight: 3}, {Op: OpDelete, Src: 2, Dst: 0}},
+		{{Op: OpInsert, Src: 5, Dst: 5}},
+	})
+	f.Add(valid)
+
+	// Seed 2/3: truncations mid-body and mid-header.
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:7])
+
+	// Seed 4: hostile count — valid magic and sequence, count claiming the
+	// full record cap backed by no bytes. Must not commit the allocation.
+	hostile := make([]byte, walHdrBytes)
+	binary.LittleEndian.PutUint32(hostile[0:], walMagic)
+	binary.LittleEndian.PutUint64(hostile[4:], 1)
+	binary.LittleEndian.PutUint32(hostile[12:], MaxWALBatch)
+	f.Add(hostile)
+
+	// Seed 5: count past the cap (4 GiB of entries).
+	capped := append([]byte(nil), hostile...)
+	binary.LittleEndian.PutUint32(capped[12:], ^uint32(0))
+	f.Add(capped)
+
+	// Seed 6: sequence gap after a valid record.
+	gap := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(gap[len(valid)-4-walEntryBytes-walHdrBytes+4:], 9)
+	f.Add(gap)
+
+	// Seed 7: corrupt checksum on the final record.
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-1] ^= 0x40
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, err := ReadLog(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadLog errored on in-memory bytes (must return the valid prefix): %v", err)
+		}
+		if len(batches) == 0 {
+			return
+		}
+		// Accepted batches must re-encode into a log that replays
+		// identically (the recovery rewrite path).
+		var out bytes.Buffer
+		for i, b := range batches {
+			if err := AppendLog(&out, uint64(i+1), b); err != nil {
+				t.Fatalf("re-encoding accepted batch %d: %v", i, err)
+			}
+		}
+		again, err := ReadLog(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading re-encoded log: %v", err)
+		}
+		if !reflect.DeepEqual(batches, again) {
+			t.Fatal("re-encoded log replays differently")
 		}
 	})
 }

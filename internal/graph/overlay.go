@@ -1,0 +1,557 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the delta-overlay adjacency form: an immutable
+// sealed base graph plus a small sorted per-source insert/delete delta
+// (Aspen/GraphBolt-style). Applying an update batch builds a new Overlay
+// in O(|delta| + batch·log) work — never an O(E) merge-rebuild — and the
+// overlay satisfies the Adjacency seam, so every kernel runs over it
+// unchanged. The serving layer compacts an overlay back into a plain CSR
+// once the delta grows past a threshold; Materialize is that merge, and
+// it is also how ApplyUpdates rebuilds, so overlay iteration order and
+// rebuilt adjacency order are identical by construction.
+//
+// Edge-index (ei) contract: base edges keep their base CSR indices
+// (deleted slots are skipped, never re-yielded), and the i-th inserted
+// edge of a direction gets ei = |E_base| + i. Weight lookups by ei
+// dispatch on that split (see Overlay.OutWeight), which keeps ei stable
+// across batches without renumbering the base arrays.
+
+// ovSide is one direction's delta: the touched vertices (sorted), and per
+// touched vertex the sorted inserted neighbors, the deleted neighbor
+// values (each pair once; a delete kills every parallel copy), and the
+// count of base slots those deletions remove.
+type ovSide struct {
+	srcs []Node
+	// insOff/delOff have len(srcs)+1; touched vertex i's inserts are
+	// insDst[insOff[i]:insOff[i+1]] (sorted, stable within equal dst) with
+	// parallel weights insW, and its deleted pair values are
+	// delDst[delOff[i]:delOff[i+1]] (sorted, unique).
+	insOff []int32
+	insDst []Node
+	insW   []uint32 // nil on unweighted bases
+	delOff []int32
+	delDst []Node
+	// delSlots[i] is the number of base adjacency slots deleted from
+	// touched vertex i (counting every parallel copy of each deleted pair).
+	delSlots []int32
+	// entOff has len(srcs)+1: prefix sum of per-vertex delta entries
+	// (inserts + delete pairs), addressing the side's simulated delta
+	// array for honest charging.
+	entOff []int64
+	// edges is the merged edge count of the side.
+	edges int64
+}
+
+// find returns the index of v in srcs, or -1 if v is untouched.
+func (s *ovSide) find(v Node) int {
+	i := sort.Search(len(s.srcs), func(k int) bool { return s.srcs[k] >= v })
+	if i < len(s.srcs) && s.srcs[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Entries returns the side's total delta entries (inserts + delete pairs).
+func (s *ovSide) Entries() int64 {
+	if len(s.entOff) == 0 {
+		return 0
+	}
+	return s.entOff[len(s.entOff)-1]
+}
+
+// Overlay is a sealed base graph plus one applied delta. It is immutable:
+// Apply folds a further batch into a NEW Overlay over the same base, so
+// in-flight readers of prior epochs stay valid. The canonical delta state
+// (dels, ins) is kept relative to the base so folding stays
+// O(|delta| + batch·log) regardless of how many batches accumulated.
+type Overlay struct {
+	base     *Graph
+	weighted bool
+
+	// dels holds base pairs whose every copy is deleted (only pairs with
+	// at least one base copy appear; inserted-then-deleted pairs are
+	// erased from ins instead). ins holds inserted edges in arrival
+	// order, weights already clamped.
+	dels     map[uint64]struct{}
+	ins      []Edge
+	insCount map[uint64]int32 // parallel-copy count per inserted pair
+
+	out ovSide
+	in  ovSide // built iff base.HasIn()
+}
+
+// NewOverlay returns the empty overlay over base (the identity epoch:
+// iteration, degrees and weights match base exactly).
+func NewOverlay(base *Graph) *Overlay {
+	ov := &Overlay{
+		base:     base,
+		weighted: base.HasWeights(),
+		dels:     map[uint64]struct{}{},
+		insCount: map[uint64]int32{},
+	}
+	ov.build()
+	return ov
+}
+
+// ApplyOverlay validates ups against base and returns the overlay holding
+// that one batch, plus the batch's Delta.
+func ApplyOverlay(base *Graph, ups []EdgeUpdate) (*Overlay, Delta, error) {
+	return NewOverlay(base).Apply(ups)
+}
+
+// Base returns the sealed base graph the overlay layers over.
+func (ov *Overlay) Base() *Graph { return ov.base }
+
+// Weighted reports whether edges carry weights (decided by the base).
+func (ov *Overlay) Weighted() bool { return ov.weighted }
+
+// NumNodes returns the vertex count (updates never grow the vertex set).
+func (ov *Overlay) NumNodes() int { return ov.base.NumNodes() }
+
+// NumEdges returns the merged edge count.
+func (ov *Overlay) NumEdges() int64 { return ov.out.edges }
+
+// Entries returns the out-side delta entries (inserts + delete pairs):
+// the |overlay| the compaction threshold compares against |E|.
+func (ov *Overlay) Entries() int64 { return ov.out.Entries() }
+
+// HasIn reports whether the in-direction delta exists (it does iff the
+// base's transpose was built when the overlay was created).
+func (ov *Overlay) HasIn() bool { return ov.base.HasIn() }
+
+// mergedOutCopies counts the copies of (s, d) visible through the overlay.
+func (ov *Overlay) mergedOutCopies(s, d Node) int64 {
+	k := pairKey(s, d)
+	var n int64
+	if _, dead := ov.dels[k]; !dead {
+		n = ov.base.outCopies(s, d)
+	}
+	return n + int64(ov.insCount[k])
+}
+
+// OutDegree returns the merged out-degree of v.
+func (ov *Overlay) OutDegree(v Node) int64 { return ov.out.degree(ov.base.OutDegree(v), v) }
+
+// InDegree returns the merged in-degree of v; the in-side delta must exist.
+func (ov *Overlay) InDegree(v Node) int64 { return ov.in.degree(ov.base.InDegree(v), v) }
+
+func (s *ovSide) degree(base int64, v Node) int64 {
+	i := s.find(v)
+	if i < 0 {
+		return base
+	}
+	return base + int64(s.insOff[i+1]-s.insOff[i]) - int64(s.delSlots[i])
+}
+
+// MaxOutDegreeNode returns the first vertex of maximum merged out-degree
+// and its degree, matching the Graph method's tie rule exactly (kernel
+// source selection must agree between an overlay epoch and its rebuild).
+// O(V·log |delta|), used once per epoch for kernel parameter defaults.
+func (ov *Overlay) MaxOutDegreeNode() (Node, int64) {
+	var best Node
+	bestDeg := int64(-1)
+	for v := 0; v < ov.NumNodes(); v++ {
+		if d := ov.OutDegree(Node(v)); d > bestDeg {
+			bestDeg = d
+			best = Node(v)
+		}
+	}
+	return best, bestDeg
+}
+
+// OutWeight returns the weight of the out-direction edge with index ei
+// under the overlay ei contract: base indices read the base weight array,
+// insert indices the insert-weight array.
+func (ov *Overlay) OutWeight(ei int64) uint32 {
+	if base := ov.base.NumEdges(); ei >= base {
+		return ov.out.insW[ei-base]
+	}
+	return ov.base.OutWeights[ei]
+}
+
+// InWeight is OutWeight for the in-direction (its own index space, like
+// InWeights vs OutWeights on a plain graph).
+func (ov *Overlay) InWeight(ei int64) uint32 {
+	if base := int64(len(ov.base.InEdges)); ei >= base {
+		return ov.in.insW[ei-base]
+	}
+	return ov.base.InWeights[ei]
+}
+
+// Apply validates ups against the merged view and folds it into a NEW
+// overlay over the same base, plus the batch's Delta (relative to the
+// pre-batch merged state, exactly what ApplyUpdates would report). Cost is
+// O(|delta| + batch·(log d + log |delta|)); the base is never rescanned.
+func (ov *Overlay) Apply(ups []EdgeUpdate) (*Overlay, Delta, error) {
+	copies := func(s, d Node) int64 { return ov.mergedOutCopies(s, d) }
+	if err := validateUpdates(ov.NumNodes(), ov.weighted, copies, ups); err != nil {
+		return nil, Delta{}, err
+	}
+
+	var delta Delta
+	dsts := make(map[Node]struct{})
+	degNet := make(map[Node]int64)
+	strip := make(map[uint64]struct{}) // inserted pairs killed by this batch
+
+	nov := &Overlay{
+		base:     ov.base,
+		weighted: ov.weighted,
+		dels:     make(map[uint64]struct{}, len(ov.dels)+len(ups)),
+		insCount: make(map[uint64]int32, len(ov.insCount)+len(ups)),
+	}
+	for k := range ov.dels {
+		nov.dels[k] = struct{}{}
+	}
+	for k, c := range ov.insCount {
+		nov.insCount[k] = c
+	}
+
+	inserted := make([]Edge, 0, len(ups))
+	for _, u := range ups {
+		dsts[u.Dst] = struct{}{}
+		k := pairKey(u.Src, u.Dst)
+		switch u.Op {
+		case OpInsert:
+			delta.Inserts++
+			degNet[u.Src]++
+			w := u.Weight
+			if ov.weighted && w == 0 {
+				w = 1
+			}
+			inserted = append(inserted, Edge{Src: u.Src, Dst: u.Dst, Weight: w})
+			nov.insCount[k]++
+		case OpDelete:
+			delta.Deletes++
+			delta.HasDeletes = true
+			degNet[u.Src] -= ov.mergedOutCopies(u.Src, u.Dst)
+			if nov.insCount[k] > 0 {
+				strip[k] = struct{}{}
+				delete(nov.insCount, k)
+			}
+			if _, dead := nov.dels[k]; !dead && ov.base.outCopies(u.Src, u.Dst) > 0 {
+				nov.dels[k] = struct{}{}
+			}
+		}
+	}
+
+	if len(strip) == 0 {
+		nov.ins = append(append(make([]Edge, 0, len(ov.ins)+len(inserted)), ov.ins...), inserted...)
+	} else {
+		nov.ins = make([]Edge, 0, len(ov.ins)+len(inserted))
+		for _, e := range ov.ins {
+			if _, dead := strip[pairKey(e.Src, e.Dst)]; !dead {
+				nov.ins = append(nov.ins, e)
+			}
+		}
+		nov.ins = append(nov.ins, inserted...)
+	}
+	nov.build()
+
+	delta.Dsts = sortedNodes(dsts)
+	changed := make(map[Node]struct{})
+	for v, net := range degNet {
+		if net != 0 {
+			changed[v] = struct{}{}
+		}
+	}
+	delta.DegChanged = sortedNodes(changed)
+	delta.Inserted = append([]Edge(nil), inserted...)
+	sort.SliceStable(delta.Inserted, func(i, j int) bool {
+		if delta.Inserted[i].Src != delta.Inserted[j].Src {
+			return delta.Inserted[i].Src < delta.Inserted[j].Src
+		}
+		return delta.Inserted[i].Dst < delta.Inserted[j].Dst
+	})
+	return nov, delta, nil
+}
+
+// build materializes both directions' side structures from the canonical
+// (dels, ins) state.
+func (ov *Overlay) build() {
+	type del struct{ s, d Node }
+	dels := make([]del, 0, len(ov.dels))
+	for k := range ov.dels {
+		dels = append(dels, del{Node(k >> 32), Node(k & 0xFFFFFFFF)})
+	}
+	buildSide := func(side *ovSide, baseEdges int64, flip bool, baseCopies func(s, d Node) int64) {
+		// Sort inserts by (src, dst) stably so parallel copies keep their
+		// batch arrival order — the tie rule Materialize and the cursor
+		// share.
+		ins := append([]Edge(nil), ov.ins...)
+		if flip {
+			for i := range ins {
+				ins[i].Src, ins[i].Dst = ins[i].Dst, ins[i].Src
+			}
+		}
+		sort.SliceStable(ins, func(i, j int) bool {
+			if ins[i].Src != ins[j].Src {
+				return ins[i].Src < ins[j].Src
+			}
+			return ins[i].Dst < ins[j].Dst
+		})
+		ds := append([]del(nil), dels...)
+		if flip {
+			for i := range ds {
+				ds[i].s, ds[i].d = ds[i].d, ds[i].s
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].s != ds[j].s {
+				return ds[i].s < ds[j].s
+			}
+			return ds[i].d < ds[j].d
+		})
+
+		touched := make(map[Node]struct{}, len(ins)+len(ds))
+		for _, e := range ins {
+			touched[e.Src] = struct{}{}
+		}
+		for _, d := range ds {
+			touched[d.s] = struct{}{}
+		}
+		side.srcs = sortedNodes(touched)
+		k := len(side.srcs)
+		side.insOff = make([]int32, k+1)
+		side.delOff = make([]int32, k+1)
+		side.delSlots = make([]int32, k)
+		side.entOff = make([]int64, k+1)
+		side.insDst = make([]Node, 0, len(ins))
+		if ov.weighted {
+			side.insW = make([]uint32, 0, len(ins))
+		}
+		side.delDst = make([]Node, 0, len(ds))
+		ii, di := 0, 0
+		var slots int64
+		for idx, v := range side.srcs {
+			for ii < len(ins) && ins[ii].Src == v {
+				side.insDst = append(side.insDst, ins[ii].Dst)
+				if ov.weighted {
+					side.insW = append(side.insW, ins[ii].Weight)
+				}
+				ii++
+			}
+			for di < len(ds) && ds[di].s == v {
+				side.delDst = append(side.delDst, ds[di].d)
+				side.delSlots[idx] += int32(baseCopies(v, ds[di].d))
+				di++
+			}
+			slots += int64(side.delSlots[idx])
+			side.insOff[idx+1] = int32(len(side.insDst))
+			side.delOff[idx+1] = int32(len(side.delDst))
+			side.entOff[idx+1] = side.entOff[idx] +
+				int64(side.insOff[idx+1]-side.insOff[idx]) +
+				int64(side.delOff[idx+1]-side.delOff[idx])
+		}
+		side.edges = baseEdges + int64(len(ins)) - slots
+	}
+	buildSide(&ov.out, ov.base.NumEdges(), false, ov.base.outCopies)
+	if ov.base.HasIn() {
+		buildSide(&ov.in, int64(len(ov.base.InEdges)), true, ov.base.inCopies)
+	}
+}
+
+// inCopies is outCopies over the transpose (in-rows are sorted by source:
+// BuildIn's counting sort visits sources in ascending order).
+func (g *Graph) inCopies(d, s Node) int64 {
+	row := g.InEdges[g.InOffsets[d]:g.InOffsets[d+1]]
+	lo := sort.Search(len(row), func(i int) bool { return row[i] >= s })
+	hi := sort.Search(len(row), func(i int) bool { return row[i] > s })
+	return int64(hi - lo)
+}
+
+// Materialize merges the overlay into a plain CSR graph: per source, base
+// edges in base order minus deleted pairs, with inserted copies merged in
+// by destination (after surviving base copies of an equal pair). This is
+// the compaction/checkpoint path, and — because ApplyUpdates rebuilds
+// through it — the ordering oracle overlay cursors are conformance-tested
+// against. The transpose and compressed forms are not built (the caller
+// seals). O(V + E + |delta|).
+func (ov *Overlay) Materialize() *Graph {
+	base := ov.base
+	n := base.NumNodes()
+	g := &Graph{
+		OutOffsets: make([]int64, n+1),
+		OutEdges:   make([]Node, 0, ov.out.edges),
+	}
+	if ov.weighted {
+		g.OutWeights = make([]uint32, 0, ov.out.edges)
+	}
+	ti := 0 // next touched index
+	for v := 0; v < n; v++ {
+		lo, hi := base.OutOffsets[v], base.OutOffsets[v+1]
+		if ti >= len(ov.out.srcs) || ov.out.srcs[ti] != Node(v) {
+			g.OutEdges = append(g.OutEdges, base.OutEdges[lo:hi]...)
+			if ov.weighted {
+				g.OutWeights = append(g.OutWeights, base.OutWeights[lo:hi]...)
+			}
+			g.OutOffsets[v+1] = int64(len(g.OutEdges))
+			continue
+		}
+		ins := ov.out.insDst[ov.out.insOff[ti]:ov.out.insOff[ti+1]]
+		var insW []uint32
+		if ov.weighted {
+			insW = ov.out.insW[ov.out.insOff[ti]:ov.out.insOff[ti+1]]
+		}
+		dels := ov.out.delDst[ov.out.delOff[ti]:ov.out.delOff[ti+1]]
+		ti++
+		di, ii := 0, 0
+		for i := lo; i < hi; i++ {
+			d := base.OutEdges[i]
+			for di < len(dels) && dels[di] < d {
+				di++
+			}
+			if di < len(dels) && dels[di] == d {
+				continue // deleted copy
+			}
+			for ii < len(ins) && ins[ii] < d {
+				g.OutEdges = append(g.OutEdges, ins[ii])
+				if ov.weighted {
+					g.OutWeights = append(g.OutWeights, insW[ii])
+				}
+				ii++
+			}
+			g.OutEdges = append(g.OutEdges, d)
+			if ov.weighted {
+				g.OutWeights = append(g.OutWeights, base.OutWeights[i])
+			}
+		}
+		g.OutEdges = append(g.OutEdges, ins[ii:]...)
+		if ov.weighted {
+			g.OutWeights = append(g.OutWeights, insW[ii:]...)
+		}
+		g.OutOffsets[v+1] = int64(len(g.OutEdges))
+	}
+	return g
+}
+
+// OverlayAdj adapts one direction of an Overlay to the Adjacency seam over
+// a chosen base representation (raw slices or compressed blocks). Base
+// metadata — Base, Extent, ExtentRange, Compressed — keeps BASE semantics,
+// because that is what charging consumes (the base block must be streamed
+// and decoded whole regardless of the delta); merged semantics live in
+// Degree, NumEdges and the Cursor. Operator edge indices come from
+// Cursor.EI, never Base(v)+k, under the overlay ei contract.
+type OverlayAdj struct {
+	ov        *Overlay
+	side      *ovSide
+	base      Adjacency
+	baseEdges int64 // the side's base edge count: ei base for inserts
+}
+
+// OutAdj returns the out-direction Adjacency over the raw or compressed
+// base representation.
+func (ov *Overlay) OutAdj(compressed bool) *OverlayAdj {
+	var base Adjacency = ov.base.RawOut()
+	if compressed {
+		base = ov.base.CompressOut()
+	}
+	return &OverlayAdj{ov: ov, side: &ov.out, base: base, baseEdges: ov.base.NumEdges()}
+}
+
+// InAdj is OutAdj for the transpose; the base must have it built.
+func (ov *Overlay) InAdj(compressed bool) *OverlayAdj {
+	if !ov.base.HasIn() {
+		panic("graph: overlay InAdj requires the base transpose")
+	}
+	var base Adjacency = ov.base.RawIn()
+	if compressed {
+		base = ov.base.CompressIn()
+	}
+	return &OverlayAdj{ov: ov, side: &ov.in, base: base, baseEdges: int64(len(ov.base.InEdges))}
+}
+
+func (a *OverlayAdj) NumNodes() int   { return a.base.NumNodes() }
+func (a *OverlayAdj) NumEdges() int64 { return a.side.edges }
+func (a *OverlayAdj) Degree(v Node) int64 {
+	return a.side.degree(a.base.Degree(v), v)
+}
+func (a *OverlayAdj) Base(v Node) int64            { return a.base.Base(v) }
+func (a *OverlayAdj) Extent(v Node) (int64, int64) { return a.base.Extent(v) }
+func (a *OverlayAdj) ExtentRange(lo, hi Node) (int64, int64) {
+	return a.base.ExtentRange(lo, hi)
+}
+func (a *OverlayAdj) Compressed() bool { return a.base.Compressed() }
+
+// BaseDegree returns v's degree in the base alone (the decode charge of a
+// compressed base block).
+func (a *OverlayAdj) BaseDegree(v Node) int64 { return a.base.Degree(v) }
+
+// DeltaExtent returns v's entry range in the side's delta array (both
+// zero for untouched vertices) — the honest-charging counterpart of
+// Extent for the overlay's own storage.
+func (a *OverlayAdj) DeltaExtent(v Node) (int64, int64) {
+	i := a.side.find(v)
+	if i < 0 {
+		return 0, 0
+	}
+	return a.side.entOff[i], a.side.entOff[i+1]
+}
+
+// DeltaExtentRange is DeltaExtent over the vertex range [lo, hi).
+func (a *OverlayAdj) DeltaExtentRange(lo, hi Node) (int64, int64) {
+	s := a.side
+	i := sort.Search(len(s.srcs), func(k int) bool { return s.srcs[k] >= lo })
+	j := sort.Search(len(s.srcs), func(k int) bool { return s.srcs[k] >= hi })
+	return s.entOff[i], s.entOff[j]
+}
+
+// DeltaEntries returns the side's total delta entries (the length of the
+// simulated delta array a runtime allocates for it).
+func (a *OverlayAdj) DeltaEntries() int64 { return a.side.Entries() }
+
+// Cursor returns the merged iterator: the base stream (raw or compressed)
+// with deleted pairs filtered, merged against the sorted insert list by
+// destination, base copies first on ties. EI tracks the overlay ei
+// contract edge index of the last yielded neighbor.
+func (a *OverlayAdj) Cursor(v Node) Cursor {
+	c := a.base.Cursor(v)
+	i := a.side.find(v)
+	if i < 0 {
+		return c
+	}
+	c.ov = true
+	c.ovIns = a.side.insDst[a.side.insOff[i]:a.side.insOff[i+1]]
+	c.ovInsEI = a.baseEdges + int64(a.side.insOff[i])
+	c.ovDel = a.side.delDst[a.side.delOff[i]:a.side.delOff[i+1]]
+	return c
+}
+
+// Validate checks overlay structural invariants (sorted touched lists,
+// consistent offsets, edge accounting); it is a test/debug aid, not a hot
+// path.
+func (ov *Overlay) Validate() error {
+	check := func(name string, s *ovSide, baseEdges int64) error {
+		k := len(s.srcs)
+		if len(s.insOff) != k+1 || len(s.delOff) != k+1 || len(s.entOff) != k+1 || len(s.delSlots) != k {
+			return fmt.Errorf("graph: overlay %s side: inconsistent offset lengths", name)
+		}
+		var slots int64
+		for i := 0; i < k; i++ {
+			if i > 0 && s.srcs[i] <= s.srcs[i-1] {
+				return fmt.Errorf("graph: overlay %s side: touched vertices not strictly sorted", name)
+			}
+			slots += int64(s.delSlots[i])
+		}
+		if got := baseEdges + int64(len(s.insDst)) - slots; got != s.edges {
+			return fmt.Errorf("graph: overlay %s side: edge accounting %d != %d", name, got, s.edges)
+		}
+		return nil
+	}
+	if err := check("out", &ov.out, ov.base.NumEdges()); err != nil {
+		return err
+	}
+	if ov.base.HasIn() {
+		if err := check("in", &ov.in, int64(len(ov.base.InEdges))); err != nil {
+			return err
+		}
+		if ov.in.edges != ov.out.edges {
+			return fmt.Errorf("graph: overlay direction edge counts differ: out %d, in %d", ov.out.edges, ov.in.edges)
+		}
+	}
+	return nil
+}

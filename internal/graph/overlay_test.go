@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// walkCursor drains an OverlayAdj cursor, returning the merged neighbor
+// list and the ei contract index of every yielded edge.
+func walkCursor(a *OverlayAdj, v Node) ([]Node, []int64) {
+	var nbrs []Node
+	var eis []int64
+	c := a.Cursor(v)
+	for {
+		d, ok := c.Next()
+		if !ok {
+			return nbrs, eis
+		}
+		nbrs = append(nbrs, d)
+		eis = append(eis, c.EI())
+	}
+}
+
+func TestNewOverlayIdentity(t *testing.T) {
+	g := updateTestGraph(t, true)
+	g.BuildIn()
+	ov := NewOverlay(g)
+	if err := ov.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ov.NumEdges() != g.NumEdges() || ov.Entries() != 0 {
+		t.Fatalf("identity overlay: edges %d entries %d", ov.NumEdges(), ov.Entries())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if ov.OutDegree(Node(v)) != g.OutDegree(Node(v)) {
+			t.Fatalf("OutDegree(%d) = %d, want %d", v, ov.OutDegree(Node(v)), g.OutDegree(Node(v)))
+		}
+		nbrs, eis := walkCursor(ov.OutAdj(false), Node(v))
+		if want := g.OutNeighbors(Node(v)); len(nbrs) != len(want) || (len(want) > 0 && !reflect.DeepEqual(nbrs, want)) {
+			t.Fatalf("cursor(%d) = %v, want %v", v, nbrs, want)
+		}
+		for i, ei := range eis {
+			if ei != g.OutOffsets[v]+int64(i) {
+				t.Fatalf("vertex %d edge %d: ei = %d, want base index %d", v, i, ei, g.OutOffsets[v]+int64(i))
+			}
+		}
+	}
+	m := ov.Materialize()
+	if !reflect.DeepEqual(m.OutOffsets, g.OutOffsets) || !reflect.DeepEqual(m.OutEdges, g.OutEdges) ||
+		!reflect.DeepEqual(m.OutWeights, g.OutWeights) {
+		t.Fatal("identity Materialize differs from base")
+	}
+}
+
+func TestOverlayCursorEIContract(t *testing.T) {
+	g := updateTestGraph(t, true) // 0:{1,2} 1:{2} 2:{0,3} 3:{3}; 6 edges
+	ov, _, err := ApplyOverlay(g, []EdgeUpdate{
+		{Op: OpInsert, Src: 0, Dst: 4, Weight: 70},
+		{Op: OpInsert, Src: 0, Dst: 0, Weight: 80},
+		{Op: OpDelete, Src: 0, Dst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, eis := walkCursor(ov.OutAdj(false), 0)
+	// Inserts sort to [0, 4]; base row [1, 2] loses 2.
+	if !reflect.DeepEqual(nbrs, []Node{0, 1, 4}) {
+		t.Fatalf("merged row = %v, want [0 1 4]", nbrs)
+	}
+	// Insert 0 is the 0th sorted insert (ei 6+0), base edge 1 keeps base
+	// index 0, insert 4 is the 1st sorted insert (ei 6+1). The deleted
+	// base slot's index 1 is never re-yielded.
+	if !reflect.DeepEqual(eis, []int64{6, 0, 7}) {
+		t.Fatalf("ei = %v, want [6 0 7]", eis)
+	}
+	if w := []uint32{ov.OutWeight(eis[0]), ov.OutWeight(eis[1]), ov.OutWeight(eis[2])}; !reflect.DeepEqual(w, []uint32{80, 10, 70}) {
+		t.Fatalf("weights by ei = %v, want [80 10 70]", w)
+	}
+}
+
+func TestOverlayInsertAfterDeleteKeepsBaseCopiesDead(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1, 0}, {0, 1, 0}, {1, 2, 0}}, false, false)
+	ov1, _, err := ApplyOverlay(g, []EdgeUpdate{{Op: OpDelete, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov1.OutDegree(0) != 0 {
+		t.Fatalf("delete left copies: degree %d", ov1.OutDegree(0))
+	}
+	ov2, _, err := ov1.Apply([]EdgeUpdate{{Op: OpInsert, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov2.OutDegree(0) != 1 {
+		t.Fatalf("insert-after-delete: degree %d, want 1 (base copies stay dead)", ov2.OutDegree(0))
+	}
+	if m := ov2.Materialize(); !reflect.DeepEqual(m.OutNeighbors(0), []Node{1}) {
+		t.Fatalf("materialized row %v, want [1]", m.OutNeighbors(0))
+	}
+}
+
+func TestOverlayDeleteOfInsertedStrips(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{1, 2, 0}}, false, false)
+	ov, _, err := ApplyOverlay(g, []EdgeUpdate{{Op: OpInsert, Src: 0, Dst: 1}, {Op: OpInsert, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, _, err = ov.Apply([]EdgeUpdate{{Op: OpDelete, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.OutDegree(0) != 0 {
+		t.Fatalf("delete of inserted pair left %d copies", ov.OutDegree(0))
+	}
+	// The pair had no base copies, so it must not be remembered as dead:
+	// a fresh insert resurfaces it.
+	ov, _, err = ov.Apply([]EdgeUpdate{{Op: OpInsert, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.OutDegree(0) != 1 {
+		t.Fatalf("re-insert after strip: degree %d, want 1", ov.OutDegree(0))
+	}
+	if err := ov.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlayChainMatchesRebuildChain is the core conformance property: a
+// chain of batches folded into one overlay presents adjacency, degrees,
+// weights, edge counts and the max-degree source byte-identically to the
+// same batches applied as merge rebuilds, in both directions and over both
+// base representations, and Materialize reproduces the rebuilt CSR
+// exactly.
+func TestOverlayChainMatchesRebuildChain(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		name := "unweighted"
+		if weighted {
+			name = "weighted"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xC0FFEE))
+			const n = 40
+			edges := make([]Edge, 0, 160)
+			for i := 0; i < 160; i++ {
+				e := Edge{Src: Node(rng.Intn(n)), Dst: Node(rng.Intn(n))}
+				if weighted {
+					e.Weight = uint32(1 + rng.Intn(63))
+				}
+				edges = append(edges, e)
+			}
+			base := MustFromEdges(n, edges, weighted, false)
+			base.BuildIn()
+			base.CompressOut()
+			base.CompressIn()
+
+			ov := NewOverlay(base)
+			cur := base
+			for batch := 0; batch < 6; batch++ {
+				ups := randomBatch(rng, cur, 12, weighted)
+				var err error
+				var ovDelta, gDelta Delta
+				ov, ovDelta, err = ov.Apply(ups)
+				if err != nil {
+					t.Fatalf("batch %d: overlay apply: %v", batch, err)
+				}
+				cur, gDelta, err = ApplyUpdates(cur, ups)
+				if err != nil {
+					t.Fatalf("batch %d: rebuild apply: %v", batch, err)
+				}
+				cur.BuildIn()
+				if !reflect.DeepEqual(ovDelta, gDelta) {
+					t.Fatalf("batch %d: deltas differ:\noverlay %+v\nrebuild %+v", batch, ovDelta, gDelta)
+				}
+				if err := ov.Validate(); err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				compareOverlay(t, ov, cur, weighted)
+			}
+
+			m := ov.Materialize()
+			if !reflect.DeepEqual(m.OutOffsets, cur.OutOffsets) || !reflect.DeepEqual(m.OutEdges, cur.OutEdges) ||
+				!reflect.DeepEqual(m.OutWeights, cur.OutWeights) {
+				t.Fatal("Materialize of chained overlay differs from chained rebuild")
+			}
+		})
+	}
+}
+
+// randomBatch builds a valid update batch against g: ~3/4 inserts (which
+// may create parallel copies) and ~1/4 deletes of existing pairs, obeying
+// the batch-conflict rules ValidateUpdates enforces.
+func randomBatch(rng *rand.Rand, g *Graph, size int, weighted bool) []EdgeUpdate {
+	used := make(map[uint64]UpdateOp, size)
+	var ups []EdgeUpdate
+	for len(ups) < size {
+		s, d := Node(rng.Intn(g.NumNodes())), Node(rng.Intn(g.NumNodes()))
+		k := pairKey(s, d)
+		if rng.Intn(4) == 0 {
+			if _, taken := used[k]; taken || g.outCopies(s, d) == 0 {
+				continue
+			}
+			used[k] = OpDelete
+			ups = append(ups, EdgeUpdate{Op: OpDelete, Src: s, Dst: d})
+			continue
+		}
+		if op, taken := used[k]; taken && op == OpDelete {
+			continue
+		}
+		used[k] = OpInsert
+		u := EdgeUpdate{Op: OpInsert, Src: s, Dst: d}
+		if weighted {
+			u.Weight = uint32(1 + rng.Intn(63))
+		}
+		ups = append(ups, u)
+	}
+	return ups
+}
+
+// compareOverlay asserts ov presents want's adjacency exactly, walking
+// every vertex in both directions over both base representations.
+func compareOverlay(t *testing.T, ov *Overlay, want *Graph, weighted bool) {
+	t.Helper()
+	if ov.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", ov.NumEdges(), want.NumEdges())
+	}
+	os, od := ov.MaxOutDegreeNode()
+	ws, wd := want.MaxOutDegreeNode()
+	if os != ws || od != wd {
+		t.Fatalf("MaxOutDegreeNode = (%d, %d), want (%d, %d)", os, od, ws, wd)
+	}
+	dirs := []struct {
+		name    string
+		adj     func(compressed bool) *OverlayAdj
+		deg     func(v Node) int64
+		wantDeg func(v Node) int64
+		nbrs    func(v Node) []Node
+		wantW   func(v Node) []uint32
+		weight  func(ei int64) uint32
+	}{
+		{"out", ov.OutAdj, ov.OutDegree, want.OutDegree, want.OutNeighbors, want.OutWeightsOf, ov.OutWeight},
+		{"in", ov.InAdj, ov.InDegree, want.InDegree, want.InNeighbors, want.InWeightsOf, ov.InWeight},
+	}
+	for _, dir := range dirs {
+		for _, compressed := range []bool{false, true} {
+			a := dir.adj(compressed)
+			for v := 0; v < want.NumNodes(); v++ {
+				node := Node(v)
+				if got, w := dir.deg(node), dir.wantDeg(node); got != w {
+					t.Fatalf("%s degree(%d) z=%v = %d, want %d", dir.name, v, compressed, got, w)
+				}
+				nbrs, eis := walkCursor(a, node)
+				wantN := dir.nbrs(node)
+				if int64(len(nbrs)) != a.Degree(node) {
+					t.Fatalf("%s cursor(%d) z=%v yielded %d, Degree says %d", dir.name, v, compressed, len(nbrs), a.Degree(node))
+				}
+				if len(nbrs) != len(wantN) || (len(wantN) > 0 && !reflect.DeepEqual(nbrs, wantN)) {
+					t.Fatalf("%s cursor(%d) z=%v = %v, want %v", dir.name, v, compressed, nbrs, wantN)
+				}
+				if weighted {
+					wantW := dir.wantW(node)
+					for i, ei := range eis {
+						if got := dir.weight(ei); got != wantW[i] {
+							t.Fatalf("%s weight(%d) edge %d z=%v = %d, want %d", dir.name, v, i, compressed, got, wantW[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

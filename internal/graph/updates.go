@@ -107,28 +107,55 @@ func sortedNodes(set map[Node]struct{}) []Node {
 	return out
 }
 
+// outCopies counts the parallel copies of the directed pair (s, d): two
+// binary searches over s's sorted out-row (FromEdges and Materialize both
+// guarantee per-source ordering), O(log d) per lookup.
+func (g *Graph) outCopies(s, d Node) int64 {
+	row := g.OutEdges[g.OutOffsets[s]:g.OutOffsets[s+1]]
+	lo := sort.Search(len(row), func(i int) bool { return row[i] >= d })
+	hi := sort.Search(len(row), func(i int) bool { return row[i] > d })
+	return int64(hi - lo)
+}
+
 // ValidateUpdates checks a batch against g without applying it: endpoints
 // must lie in [0, n) (updates never grow the vertex set), a pair may not be
 // both inserted and deleted in one batch (the net effect would be
-// order-dependent), the same pair may not be deleted twice, and every
-// deleted pair must exist in g. It reuses the FromEdges hardening posture:
-// reject hostile input before any allocation proportional to it succeeds.
+// order-dependent), the same pair may not be deleted twice, inserts may not
+// smuggle a weight into an unweighted graph (it would be silently dropped),
+// deletes may not carry a weight at all, and every deleted pair must exist
+// in g. It reuses the FromEdges hardening posture: reject hostile input
+// before any allocation proportional to it succeeds. Delete existence is a
+// per-source binary search over the sorted out-row — O(batch·log d) total,
+// never an O(E) CSR scan.
 func ValidateUpdates(g *Graph, ups []EdgeUpdate) error {
-	n := int64(g.NumNodes())
+	return validateUpdates(g.NumNodes(), g.HasWeights(), g.outCopies, ups)
+}
+
+// validateUpdates is the batch validator shared by ValidateUpdates (copies
+// answered by the base CSR) and Overlay.Apply (copies answered by the
+// merged base+delta view).
+func validateUpdates(n int, weighted bool, copies func(s, d Node) int64, ups []EdgeUpdate) error {
+	n64 := int64(n)
 	deletes := make(map[uint64]struct{})
 	inserts := make(map[uint64]struct{})
 	for i, u := range ups {
-		if int64(u.Src) >= n || int64(u.Dst) >= n {
-			return fmt.Errorf("graph: update %d (%s %d -> %d) endpoint out of range [0, %d)", i, u.Op, u.Src, u.Dst, n)
+		if int64(u.Src) >= n64 || int64(u.Dst) >= n64 {
+			return fmt.Errorf("graph: update %d (%s %d -> %d) endpoint out of range [0, %d)", i, u.Op, u.Src, u.Dst, n64)
 		}
 		key := pairKey(u.Src, u.Dst)
 		switch u.Op {
 		case OpInsert:
+			if u.Weight != 0 && !weighted {
+				return fmt.Errorf("graph: update %d (insert %d -> %d) carries weight %d into an unweighted graph", i, u.Src, u.Dst, u.Weight)
+			}
 			if _, ok := deletes[key]; ok {
 				return fmt.Errorf("graph: update %d inserts edge %d -> %d also deleted in this batch", i, u.Src, u.Dst)
 			}
 			inserts[key] = struct{}{}
 		case OpDelete:
+			if u.Weight != 0 {
+				return fmt.Errorf("graph: update %d (delete %d -> %d) carries weight %d; deletes remove every copy and take no weight", i, u.Src, u.Dst, u.Weight)
+			}
 			if _, ok := inserts[key]; ok {
 				return fmt.Errorf("graph: update %d deletes edge %d -> %d also inserted in this batch", i, u.Src, u.Dst)
 			}
@@ -136,29 +163,11 @@ func ValidateUpdates(g *Graph, ups []EdgeUpdate) error {
 				return fmt.Errorf("graph: update %d deletes edge %d -> %d twice", i, u.Src, u.Dst)
 			}
 			deletes[key] = struct{}{}
+			if copies(u.Src, u.Dst) == 0 {
+				return fmt.Errorf("graph: update %d: delete of nonexistent edge %d -> %d", i, u.Src, u.Dst)
+			}
 		default:
 			return fmt.Errorf("graph: update %d has unknown op %d", i, u.Op)
-		}
-	}
-	if len(deletes) > 0 {
-		// Deletions must name edges that exist; scan the CSR once rather
-		// than materializing an O(E) pair set.
-		found := make(map[uint64]struct{}, len(deletes))
-		for v := 0; v < g.NumNodes(); v++ {
-			lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
-			for i := lo; i < hi; i++ {
-				key := pairKey(Node(v), g.OutEdges[i])
-				if _, ok := deletes[key]; ok {
-					found[key] = struct{}{}
-				}
-			}
-		}
-		if len(found) != len(deletes) {
-			for key := range deletes {
-				if _, ok := found[key]; !ok {
-					return fmt.Errorf("graph: delete of nonexistent edge %d -> %d", Node(key>>32), Node(key&0xFFFFFFFF))
-				}
-			}
 		}
 	}
 	return nil
@@ -169,78 +178,17 @@ func ValidateUpdates(g *Graph, ups []EdgeUpdate) error {
 // never mutated — in-flight readers of the old epoch stay valid. Deletions
 // remove every parallel copy of the named pair; insertions append one edge
 // (carrying a weight iff g is weighted, clamped to >= 1 so generated
-// weight invariants hold). The rebuild goes through FromEdges, so the new
-// graph carries the same per-source ordering and validation guarantees as
-// a freshly built one; the transpose and compressed encodings are NOT
-// built here (the caller seals the new epoch as it would a loaded graph).
+// weight invariants hold). The rebuild goes through the same deterministic
+// per-source merge the delta-overlay form uses (base edges in base order,
+// inserted copies of an equal (src, dst) pair after the surviving base
+// copies, in batch order), so a merge-rebuilt epoch and an overlay epoch
+// present byte-identical adjacency; the transpose and compressed encodings
+// are NOT built here (the caller seals the new epoch as it would a loaded
+// graph).
 func ApplyUpdates(g *Graph, ups []EdgeUpdate) (*Graph, Delta, error) {
-	if err := ValidateUpdates(g, ups); err != nil {
+	ov, delta, err := ApplyOverlay(g, ups)
+	if err != nil {
 		return nil, Delta{}, err
 	}
-	var delta Delta
-	dsts := make(map[Node]struct{})
-	degNet := make(map[Node]int64)
-	deletes := make(map[uint64]struct{})
-	weighted := g.HasWeights()
-	n := g.NumNodes()
-
-	inserted := make([]Edge, 0, len(ups))
-	for _, u := range ups {
-		dsts[u.Dst] = struct{}{}
-		switch u.Op {
-		case OpInsert:
-			delta.Inserts++
-			degNet[u.Src]++
-			w := u.Weight
-			if weighted && w == 0 {
-				w = 1
-			}
-			inserted = append(inserted, Edge{Src: u.Src, Dst: u.Dst, Weight: w})
-		case OpDelete:
-			delta.Deletes++
-			delta.HasDeletes = true
-			deletes[pairKey(u.Src, u.Dst)] = struct{}{}
-		}
-	}
-
-	edges := make([]Edge, 0, int64(len(g.OutEdges))+int64(len(inserted)))
-	for v := 0; v < n; v++ {
-		lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
-		for i := lo; i < hi; i++ {
-			d := g.OutEdges[i]
-			if len(deletes) > 0 {
-				if _, ok := deletes[pairKey(Node(v), d)]; ok {
-					degNet[Node(v)]-- // every parallel copy removed counts
-					continue
-				}
-			}
-			e := Edge{Src: Node(v), Dst: d}
-			if weighted {
-				e.Weight = g.OutWeights[i]
-			}
-			edges = append(edges, e)
-		}
-	}
-	edges = append(edges, inserted...)
-
-	ng, err := FromEdges(n, edges, weighted, false)
-	if err != nil {
-		return nil, Delta{}, err // unreachable after validation; kept for defense
-	}
-	delta.Dsts = sortedNodes(dsts)
-	changed := make(map[Node]struct{})
-	for v, net := range degNet {
-		if net != 0 {
-			changed[v] = struct{}{}
-		}
-	}
-	delta.DegChanged = sortedNodes(changed)
-	delta.Inserted = append([]Edge(nil), inserted...)
-	sort.Slice(delta.Inserted, func(i, j int) bool {
-		if delta.Inserted[i].Src != delta.Inserted[j].Src {
-			return delta.Inserted[i].Src < delta.Inserted[j].Src
-		}
-		return delta.Inserted[i].Dst < delta.Inserted[j].Dst
-	})
-	return ng, delta, nil
+	return ov.Materialize(), delta, nil
 }

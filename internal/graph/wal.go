@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the durable update log (WAL) encoding: the append-only,
+// per-graph record stream the serving layer writes each update batch to
+// BEFORE sealing the batch's epoch, and replays at boot to reconstruct the
+// latest epoch from the last checkpoint snapshot. One record is one batch:
+//
+//	magic  uint32  "WAL1" little-endian
+//	seq    uint64  1-based batch sequence number (contiguous)
+//	count  uint32  updates in the batch (1 .. MaxWALBatch)
+//	body   count × 13 bytes: op(1) src(4) dst(4) weight(4), little-endian
+//	crc    uint32  CRC-32C over seq, count and body
+//
+// Recovery semantics (the crash-consistency contract): ReadLog returns
+// every complete, checksummed, contiguous record from the front of the
+// stream and STOPS at the first torn, truncated or corrupt one — a crash
+// mid-append loses at most the batch being appended, never an earlier one.
+// A torn tail is not an error; the caller re-persists the valid prefix.
+
+// walMagic marks each record ("WAL1" read as little-endian uint32).
+const walMagic uint32 = 0x314C4157
+
+// MaxWALBatch caps the per-record update count, bounding the allocation a
+// hostile or corrupt count field can demand (the same posture as
+// MaxCSRBytes for snapshots).
+const MaxWALBatch = 1 << 22
+
+const (
+	walHdrBytes   = 4 + 8 + 4 // magic, seq, count
+	walEntryBytes = 13        // op, src, dst, weight
+)
+
+// AppendLog encodes one batch as a WAL record on w. seq is the 1-based
+// batch sequence number; ReadLog verifies contiguity, so callers must
+// increment it per appended batch.
+func AppendLog(w io.Writer, seq uint64, ups []EdgeUpdate) error {
+	if len(ups) == 0 {
+		return fmt.Errorf("graph: refusing to log an empty update batch")
+	}
+	if len(ups) > MaxWALBatch {
+		return fmt.Errorf("graph: update batch of %d exceeds the WAL record cap %d", len(ups), MaxWALBatch)
+	}
+	buf := make([]byte, walHdrBytes+len(ups)*walEntryBytes+4)
+	binary.LittleEndian.PutUint32(buf[0:], walMagic)
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(ups)))
+	p := walHdrBytes
+	for _, u := range ups {
+		buf[p] = byte(u.Op)
+		binary.LittleEndian.PutUint32(buf[p+1:], uint32(u.Src))
+		binary.LittleEndian.PutUint32(buf[p+5:], uint32(u.Dst))
+		binary.LittleEndian.PutUint32(buf[p+9:], u.Weight)
+		p += walEntryBytes
+	}
+	crc := crc32.Checksum(buf[4:p], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(buf[p:], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadLog decodes the valid record prefix of a WAL stream: the batches of
+// every complete, checksummed record with contiguous sequence numbers
+// (1, 2, ...). Decoding stops — without error — at EOF, at a torn or
+// truncated tail, and at the first record whose magic, count bound,
+// checksum, op codes or sequence number are wrong; everything before the
+// stop point is returned. Only a non-EOF transport error is reported.
+func ReadLog(r io.Reader) ([][]EdgeUpdate, error) {
+	first, batches, err := ReadLogSeq(r)
+	if len(batches) > 0 && first != 1 {
+		// A log not starting at sequence 1 has no valid prefix under this
+		// reader's contract.
+		return nil, err
+	}
+	return batches, err
+}
+
+// ReadLogSeq is ReadLog for logs whose first record carries any sequence
+// number: checkpointing leaves a log whose surviving records start at the
+// snapshot's successor sequence, not at 1. It returns the first record's
+// sequence number alongside the batches (first is 0 when no record
+// survives); contiguity from that first sequence is still enforced.
+func ReadLogSeq(r io.Reader) (first uint64, _ [][]EdgeUpdate, _ error) {
+	var batches [][]EdgeUpdate
+	hdr := make([]byte, walHdrBytes)
+	var body []byte
+	table := crc32.MakeTable(crc32.Castagnoli)
+	var seq uint64
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return first, batches, nil
+			}
+			return first, batches, fmt.Errorf("graph: reading WAL record header: %w", err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
+			return first, batches, nil
+		}
+		if recSeq := binary.LittleEndian.Uint64(hdr[4:]); seq == 0 {
+			if recSeq == 0 {
+				return first, batches, nil
+			}
+			first, seq = recSeq, recSeq
+		} else if recSeq != seq {
+			return first, batches, nil
+		}
+		count := binary.LittleEndian.Uint32(hdr[12:])
+		if count == 0 || count > MaxWALBatch {
+			return first, batches, nil
+		}
+		// Read the body in 1 MiB steps so a hostile count field only costs
+		// memory the stream actually backs with bytes.
+		need := int(count)*walEntryBytes + 4
+		body = body[:0]
+		torn := false
+		for len(body) < need {
+			grow := need - len(body)
+			if grow > 1<<20 {
+				grow = 1 << 20
+			}
+			off := len(body)
+			body = append(body, make([]byte, grow)...)
+			if _, err := io.ReadFull(r, body[off:off+grow]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					torn = true
+					break
+				}
+				return first, batches, fmt.Errorf("graph: reading WAL record body: %w", err)
+			}
+		}
+		if torn {
+			return first, batches, nil
+		}
+		crc := crc32.Checksum(hdr[4:], table)
+		crc = crc32.Update(crc, table, body[:need-4])
+		if crc != binary.LittleEndian.Uint32(body[need-4:]) {
+			return first, batches, nil
+		}
+		ups := make([]EdgeUpdate, count)
+		ok := true
+		for i := range ups {
+			p := i * walEntryBytes
+			op := UpdateOp(body[p])
+			if op != OpInsert && op != OpDelete {
+				ok = false
+				break
+			}
+			ups[i] = EdgeUpdate{
+				Op:     op,
+				Src:    Node(binary.LittleEndian.Uint32(body[p+1:])),
+				Dst:    Node(binary.LittleEndian.Uint32(body[p+5:])),
+				Weight: binary.LittleEndian.Uint32(body[p+9:]),
+			}
+		}
+		if !ok {
+			return first, batches, nil
+		}
+		batches = append(batches, ups)
+		seq++
+	}
+}

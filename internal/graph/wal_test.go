@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+func crc32Castagnoli(b []byte) uint32 {
+	return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+}
+
+func walBatches() [][]EdgeUpdate {
+	return [][]EdgeUpdate{
+		{{Op: OpInsert, Src: 0, Dst: 1, Weight: 5}, {Op: OpDelete, Src: 2, Dst: 3}},
+		{{Op: OpInsert, Src: 4, Dst: 4}},
+		{{Op: OpDelete, Src: 1, Dst: 0}, {Op: OpInsert, Src: 7, Dst: 2, Weight: 63}, {Op: OpInsert, Src: 0, Dst: 0}},
+	}
+}
+
+func encodeWAL(t *testing.T, batches [][]EdgeUpdate) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, b := range batches {
+		if err := AppendLog(&buf, uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	want := walBatches()
+	got, err := ReadLog(bytes.NewReader(encodeWAL(t, want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWALRejectsEmptyAndOversizedBatches(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AppendLog(&buf, 1, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := AppendLog(&buf, 1, make([]EdgeUpdate, MaxWALBatch+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+// TestWALTornTailEveryByte is the crash-recovery contract at byte
+// granularity: a log truncated at EVERY byte boundary inside the final
+// record replays to exactly the preceding complete batches, and a
+// truncation inside an earlier record stops there.
+func TestWALTornTailEveryByte(t *testing.T) {
+	batches := walBatches()
+	full := encodeWAL(t, batches)
+	prefix := encodeWAL(t, batches[:2])
+	for cut := len(prefix); cut < len(full); cut++ {
+		got, err := ReadLog(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !reflect.DeepEqual(got, batches[:2]) {
+			t.Fatalf("cut %d: replayed %d batches, want the 2 complete ones", cut, len(got))
+		}
+	}
+	// Torn inside the SECOND record: only batch 1 survives.
+	second := encodeWAL(t, batches[:1])
+	got, err := ReadLog(bytes.NewReader(full[:len(second)+7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batches[:1]) {
+		t.Fatalf("mid-log tear replayed %d batches, want 1", len(got))
+	}
+}
+
+func TestWALStopsAtCorruption(t *testing.T) {
+	batches := walBatches()
+	full := encodeWAL(t, batches)
+	prefix := encodeWAL(t, batches[:2])
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		want   int // complete batches surviving
+	}{
+		{"flipped body byte fails the checksum", func(b []byte) { b[len(prefix)+walHdrBytes] ^= 0xFF }, 2},
+		{"flipped crc byte", func(b []byte) { b[len(full)-1] ^= 0x01 }, 2},
+		{"wrong magic", func(b []byte) { b[len(prefix)] ^= 0xFF }, 2},
+		{"sequence gap", func(b []byte) { binary.LittleEndian.PutUint64(b[len(prefix)+4:], 9) }, 2},
+		{"zero count", func(b []byte) { binary.LittleEndian.PutUint32(b[len(prefix)+12:], 0) }, 2},
+		{"hostile count", func(b []byte) { binary.LittleEndian.PutUint32(b[len(prefix)+12:], MaxWALBatch+1) }, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := append([]byte(nil), full...)
+			c.mutate(b)
+			got, err := ReadLog(bytes.NewReader(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != c.want {
+				t.Fatalf("replayed %d batches, want %d", len(got), c.want)
+			}
+			if !reflect.DeepEqual(got, batches[:c.want]) {
+				t.Fatal("surviving prefix differs from the appended batches")
+			}
+		})
+	}
+}
+
+// TestWALStopsAtInvalidOp: a record that checksums correctly but carries
+// an unknown op code is dropped (and stops replay) rather than decoded
+// into an update the validator would have to reject later.
+func TestWALStopsAtInvalidOp(t *testing.T) {
+	batches := walBatches()
+	prefix := encodeWAL(t, batches[:1])
+	// Hand-build record 2 with op byte 7 and a CORRECT checksum, so only
+	// op validation can reject it.
+	rec := make([]byte, walHdrBytes+walEntryBytes+4)
+	binary.LittleEndian.PutUint32(rec[0:], walMagic)
+	binary.LittleEndian.PutUint64(rec[4:], 2)
+	binary.LittleEndian.PutUint32(rec[12:], 1)
+	rec[walHdrBytes] = 7 // op
+	crc := crc32Castagnoli(rec[4 : walHdrBytes+walEntryBytes])
+	binary.LittleEndian.PutUint32(rec[walHdrBytes+walEntryBytes:], crc)
+	got, err := ReadLog(bytes.NewReader(append(append([]byte(nil), prefix...), rec...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batches[:1]) {
+		t.Fatalf("replayed %d batches, want 1", len(got))
+	}
+}
+
+// TestWALHostileCountDoesNotCommitAllocation: a record whose count field
+// claims the maximum batch size backed by no bytes must be dropped without
+// the decoder committing memory proportional to the claim.
+func TestWALHostileCountBackedByNothing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AppendLog(&buf, 1, walBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	hostile := make([]byte, walHdrBytes)
+	binary.LittleEndian.PutUint32(hostile[0:], walMagic)
+	binary.LittleEndian.PutUint64(hostile[4:], 2)
+	binary.LittleEndian.PutUint32(hostile[12:], MaxWALBatch)
+	buf.Write(hostile)
+	got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d batches, want 1", len(got))
+	}
+}

@@ -24,7 +24,10 @@ import (
 // (seconds, counters, algorithm) reflects the incremental path, and
 // additionally depends on whether a prior-epoch seed was retained when the
 // first such job executed — so they must never alias the full entries,
-// whose bytes ARE a pure function of the key. The key leads with
+// whose bytes ARE a pure function of the key. The epoch's adjacency form
+// (info.Form: csr vs overlay) is in the key for the same reason: a
+// compaction keeps the epoch and the outputs but changes the charging, so
+// the two forms' bytes must never alias. The key leads with
 // "<graph>|<epoch>|" so per-graph invalidation is a prefix match.
 func cacheKey(info GraphInfo, app string, p frameworks.Profile, threads int,
 	cfg engine.Config, opts core.Options, params frameworks.Params, machine string, incremental bool) string {
@@ -32,8 +35,8 @@ func cacheKey(info GraphInfo, app string, p frameworks.Profile, threads int,
 	if incremental {
 		inc = "|inc"
 	}
-	return fmt.Sprintf("%s|%d|%s|%s|t%d|cfg%+v|opt%+v|par%+v|m=%s%s",
-		info.Name, info.Epoch, app, p.Name, threads, cfg, opts, params, machine, inc)
+	return fmt.Sprintf("%s|%d|f=%s|%s|%s|t%d|cfg%+v|opt%+v|par%+v|m=%s%s",
+		info.Name, info.Epoch, info.Form, app, p.Name, threads, cfg, opts, params, machine, inc)
 }
 
 // graphKeyPrefix returns the prefix shared by every cache key of a graph

@@ -37,7 +37,22 @@ type GraphInfo struct {
 	// Updates counts the update batches applied since the graph was
 	// loaded.
 	Updates int `json:"updates,omitempty"`
+	// Form is the epoch's resident adjacency form: "csr" (a sealed CSR
+	// graph) or "overlay" (a delta overlay over the last sealed base).
+	// Checkpointing/compaction flips overlay -> csr WITHOUT changing the
+	// epoch — outputs are byte-identical across forms, only the charging
+	// differs, which is why cache keys carry the form separately.
+	Form string `json:"form"`
+	// OverlayEntries counts the overlay's delta entries (overlay form
+	// only); compaction triggers when it outgrows Edges/compactDiv.
+	OverlayEntries int64 `json:"overlay_entries,omitempty"`
 }
+
+// Adjacency forms a resident epoch can be served from.
+const (
+	formCSR     = "csr"
+	formOverlay = "overlay"
+)
 
 // Registry holds the graphs resident in the serving process. Graphs are
 // sealed on load — transpose and edge weights fully materialized — so the
@@ -48,11 +63,29 @@ type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*residentGraph
 	epoch  uint64
+	// dataDir, when set, roots the durable state: each graph persists a
+	// sealed base-<k>.csrz snapshot plus a WAL of the batches applied
+	// since (see store.go). Empty = purely in-memory serving.
+	dataDir string
+	// compactDiv sets the background-compaction threshold: an overlay
+	// epoch whose delta exceeds Edges/compactDiv is merged into a fresh
+	// CSR snapshot off the update path. <= 0 disables auto-compaction.
+	compactDiv int64
+	// compacting guards one background compactor per graph.
+	compacting map[string]bool
+	wg         sync.WaitGroup
 }
 
 type residentGraph struct {
 	info GraphInfo
-	g    *graph.Graph
+	// g is the sealed base CSR. For csr-form epochs it IS the epoch; for
+	// overlay form it is the base ov overlays (ov.Base()).
+	g *graph.Graph
+	// ov is the delta-overlay epoch, non-nil exactly when info.Form is
+	// "overlay". Prior epochs are pinned only by in-flight jobs holding
+	// their references; once those return, the garbage collector reclaims
+	// them — the registry itself never retains more than one epoch.
+	ov *graph.Overlay
 	// params are the deterministic per-graph kernel defaults
 	// (frameworks.DefaultParams), computed once at registration: the
 	// source lookup is an O(V) degree scan that cache-hit-heavy serving
@@ -64,11 +97,34 @@ type residentGraph struct {
 	// whether a retained seed is exactly one batch old.
 	prevEpoch uint64
 	delta     *graph.Delta
+	// store is the graph's durable state (nil without a data dir); it is
+	// carried across epoch swaps and removed on eviction.
+	store *graphStore
 }
 
-// NewRegistry returns an empty registry.
+// DefaultCompactDiv is the compaction threshold divisor when the config
+// leaves it 0: an overlay is merged once its delta exceeds |E|/20.
+const DefaultCompactDiv = 20
+
+// NewRegistry returns an empty, in-memory registry with default
+// compaction.
 func NewRegistry() *Registry {
-	return &Registry{graphs: make(map[string]*residentGraph)}
+	return NewRegistryAt("", 0)
+}
+
+// NewRegistryAt returns a registry persisting under dataDir ("" for
+// in-memory) with the given compaction divisor (0 = DefaultCompactDiv,
+// negative = auto-compaction off). Call Recover to replay existing state.
+func NewRegistryAt(dataDir string, compactDiv int64) *Registry {
+	if compactDiv == 0 {
+		compactDiv = DefaultCompactDiv
+	}
+	return &Registry{
+		graphs:     make(map[string]*residentGraph),
+		dataDir:    dataDir,
+		compactDiv: compactDiv,
+		compacting: make(map[string]bool),
+	}
 }
 
 // seal materializes every lazily-built projection of g (edge weights with
@@ -93,7 +149,9 @@ func seal(g *graph.Graph) {
 // graph (two racing Adds of one name may both seal, but only one
 // registers).
 func (r *Registry) Add(name, source string, g *graph.Graph) (GraphInfo, error) {
-	if !graphNameRE.MatchString(name) {
+	// The all-dots check keeps names usable as directory names under the
+	// data dir ("." and ".." would escape or collide with it).
+	if !graphNameRE.MatchString(name) || strings.Trim(name, ".") == "" {
 		return GraphInfo{}, fmt.Errorf("server: invalid graph name %q (want %s)", name, graphNameRE)
 	}
 	dup := func() error {
@@ -114,6 +172,15 @@ func (r *Registry) Add(name, source string, g *graph.Graph) (GraphInfo, error) {
 	if err := dup(); err != nil {
 		return GraphInfo{}, err
 	}
+	var store *graphStore
+	if r.dataDir != "" {
+		// The batch-zero snapshot is written under the registry lock: the
+		// name is only reserved by the map insert below, so a racing Add
+		// of the same name must not interleave directory writes.
+		if store, err = createGraphStore(r.dataDir, name, g); err != nil {
+			return GraphInfo{}, err
+		}
+	}
 	r.epoch++
 	info := GraphInfo{
 		Name:     name,
@@ -122,8 +189,9 @@ func (r *Registry) Add(name, source string, g *graph.Graph) (GraphInfo, error) {
 		Edges:    g.NumEdges(),
 		CSRBytes: g.CSRBytes(),
 		Epoch:    r.epoch,
+		Form:     formCSR,
 	}
-	r.graphs[name] = &residentGraph{info: info, g: g, params: frameworks.DefaultParams(g)}
+	r.graphs[name] = &residentGraph{info: info, g: g, params: frameworks.DefaultParams(g), store: store}
 	return info, nil
 }
 
@@ -160,7 +228,9 @@ func (r *Registry) LoadCSRFile(name, path string) (GraphInfo, error) {
 	return r.Add(name, "file:"+path, g)
 }
 
-// Get returns the sealed graph registered under name. The returned graph
+// Get returns the sealed base CSR registered under name: the epoch itself
+// for csr-form epochs, the overlay's base for overlay form (info.Form
+// tells them apart; View returns the overlay too). The returned graph
 // stays valid for the caller even if the name is evicted afterwards (jobs
 // in flight keep their reference; eviction only unregisters).
 func (r *Registry) Get(name string) (*graph.Graph, GraphInfo, bool) {
@@ -171,6 +241,36 @@ func (r *Registry) Get(name string) (*graph.Graph, GraphInfo, bool) {
 		return nil, GraphInfo{}, false
 	}
 	return rg.g, rg.info, true
+}
+
+// View returns the current epoch in its resident form: the sealed base
+// CSR plus, for overlay-form epochs, the overlay over it (nil for csr
+// form). This is the job resolver — executions run on exactly the
+// returned form, and the cache key records which one it was.
+func (r *Registry) View(name string) (*graph.Graph, *graph.Overlay, GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg, ok := r.graphs[name]
+	if !ok {
+		return nil, nil, GraphInfo{}, false
+	}
+	return rg.g, rg.ov, rg.info, true
+}
+
+// Snapshot returns the current epoch as a standalone sealed CSR graph:
+// the resident graph itself for csr form, a materialized + sealed copy
+// for overlay form. The copy is O(E) — this is for conformance checks,
+// export and update-batch generation, never the serving path.
+func (r *Registry) Snapshot(name string) (*graph.Graph, GraphInfo, bool) {
+	g, ov, info, ok := r.View(name)
+	if !ok {
+		return nil, GraphInfo{}, false
+	}
+	if ov != nil {
+		g = ov.Materialize()
+		seal(g)
+	}
+	return g, info, true
 }
 
 // Defaults returns the graph's precomputed kernel parameter defaults.
@@ -195,13 +295,20 @@ var ErrUpdateConflict = errors.New("server: graph changed concurrently, retry th
 var ErrNotLoaded = errors.New("not loaded")
 
 // ApplyUpdates applies one batched edge-update log to the named graph as a
-// new sealed epoch: the batch is validated and merged into a NEW graph
-// (graph.ApplyUpdates — the resident one is immutable and in-flight jobs
-// keep reading it), the result is sealed like any load, and the registry
-// entry is swapped under the next epoch. The rebuild runs outside the
-// registry lock; if the entry changed meanwhile the swap fails with
-// ErrUpdateConflict rather than silently dropping the concurrent change.
-// The applied Delta is retained (see UpdateState) for incremental jobs.
+// new epoch in overlay form: the batch is validated against and folded
+// into the current epoch's delta overlay (graph.Overlay.Apply — O(|delta|
+// + batch·log d), never an O(E) rebuild; the resident epoch is immutable
+// and in-flight jobs keep reading it), appended durably to the graph's WAL,
+// and the registry entry is swapped under the next epoch. The fold runs
+// outside the registry lock; if the entry changed meanwhile the swap fails
+// with ErrUpdateConflict rather than silently dropping the concurrent
+// change. The WAL append happens under the lock, after the conflict check
+// and before the swap — an epoch is never visible before its batch is on
+// disk, and a logged batch that fails to commit is at worst a subsumable
+// duplicate-free prefix record. The applied Delta is retained (see
+// UpdateState) for incremental jobs; an overlay that outgrows the
+// compaction threshold is merged into a fresh CSR snapshot in the
+// background (see Checkpoint).
 func (r *Registry) ApplyUpdates(name string, ups []graph.EdgeUpdate) (GraphInfo, error) {
 	r.mu.RLock()
 	rg, ok := r.graphs[name]
@@ -210,38 +317,255 @@ func (r *Registry) ApplyUpdates(name string, ups []graph.EdgeUpdate) (GraphInfo,
 		return GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
 	}
 	oldInfo := rg.info
-	ng, delta, err := graph.ApplyUpdates(rg.g, ups)
+	base := rg.ov
+	if base == nil {
+		base = graph.NewOverlay(rg.g)
+	}
+	nov, delta, err := base.Apply(ups)
 	if err != nil {
 		return GraphInfo{}, fmt.Errorf("server: updating %q: %w", name, err)
 	}
-	seal(ng)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	cur, ok := r.graphs[name]
 	if !ok {
-		// Evicted while we rebuilt: a retry is doomed, so report 404
+		// Evicted while we folded: a retry is doomed, so report 404
 		// rather than the retryable 409.
+		r.mu.Unlock()
 		return GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
 	}
 	if cur.info.Epoch != oldInfo.Epoch {
+		r.mu.Unlock()
 		return GraphInfo{}, ErrUpdateConflict
+	}
+	if cur.store != nil {
+		if err := cur.store.AppendBatch(ups); err != nil {
+			r.mu.Unlock()
+			return GraphInfo{}, fmt.Errorf("server: logging update for %q: %w", name, err)
+		}
 	}
 	r.epoch++
 	info := GraphInfo{
-		Name:     name,
-		Source:   oldInfo.Source,
-		Nodes:    ng.NumNodes(),
-		Edges:    ng.NumEdges(),
-		CSRBytes: ng.CSRBytes(),
-		Epoch:    r.epoch,
-		Updates:  oldInfo.Updates + 1,
+		Name:           name,
+		Source:         oldInfo.Source,
+		Nodes:          nov.NumNodes(),
+		Edges:          nov.NumEdges(),
+		CSRBytes:       overlayBytes(nov),
+		Epoch:          r.epoch,
+		Updates:        oldInfo.Updates + 1,
+		Form:           formOverlay,
+		OverlayEntries: nov.Entries(),
 	}
 	r.graphs[name] = &residentGraph{
 		info:      info,
-		g:         ng,
-		params:    frameworks.DefaultParams(ng),
+		g:         nov.Base(),
+		ov:        nov,
+		params:    frameworks.DefaultParamsOverlay(nov),
 		prevEpoch: oldInfo.Epoch,
 		delta:     &delta,
+		store:     cur.store,
+	}
+	compact := r.overThreshold(r.graphs[name])
+	r.mu.Unlock()
+	if compact {
+		r.compactAsync(name)
+	}
+	return info, nil
+}
+
+// overlayBytes is the resident footprint an overlay epoch reports: the
+// shared sealed base plus the two delta sides at 8 bytes per entry.
+func overlayBytes(ov *graph.Overlay) int64 {
+	return ov.Base().CSRBytes() + ov.Entries()*16
+}
+
+// overThreshold reports whether rg's overlay outgrew the compaction bound
+// (delta entries > |E| / compactDiv). Callers hold r.mu.
+func (r *Registry) overThreshold(rg *residentGraph) bool {
+	return r.compactDiv > 0 && rg.ov != nil && rg.ov.Entries() > rg.ov.NumEdges()/r.compactDiv
+}
+
+// Checkpoint merges the named graph's current epoch into a standalone
+// sealed CSR (overlay form is materialized — O(E), which is exactly the
+// cost ApplyUpdates no longer pays per batch), persists it as the new
+// base-<k>.csrz snapshot, truncates the WAL it subsumes, and swaps the
+// registry entry to csr form WITHOUT changing the epoch: outputs are
+// byte-identical across forms, so cached results stay valid under their
+// form-qualified keys. The materialization and snapshot render run
+// outside the registry lock; a batch that lands meanwhile fails the swap
+// with ErrUpdateConflict (callers retry or reschedule).
+func (r *Registry) Checkpoint(name string) (GraphInfo, error) {
+	r.mu.RLock()
+	rg, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
+	}
+	oldInfo := rg.info
+	m := rg.g
+	if rg.ov != nil {
+		m = rg.ov.Materialize()
+		seal(m)
+	}
+	tmp := ""
+	if rg.store != nil {
+		var err error
+		if tmp, err = rg.store.writeSnapshot(m); err != nil {
+			return GraphInfo{}, err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.graphs[name]
+	if !ok || cur.info.Epoch != oldInfo.Epoch {
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+		if !ok {
+			return GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
+		}
+		return GraphInfo{}, ErrUpdateConflict
+	}
+	if cur.store != nil {
+		if err := cur.store.CommitSnapshot(tmp); err != nil {
+			return GraphInfo{}, err
+		}
+	}
+	info := cur.info
+	info.Form, info.OverlayEntries, info.CSRBytes = formCSR, 0, m.CSRBytes()
+	r.graphs[name] = &residentGraph{
+		info:      info,
+		g:         m,
+		params:    cur.params,
+		prevEpoch: cur.prevEpoch,
+		delta:     cur.delta,
+		store:     cur.store,
+	}
+	return info, nil
+}
+
+// compactAsync starts (at most) one background compactor for name. The
+// compactor checkpoints and re-checks the threshold until the overlay is
+// back under it — a batch that lands mid-materialization conflicts the
+// swap, and the loop simply renders the newer epoch instead of leaking an
+// ever-growing overlay.
+func (r *Registry) compactAsync(name string) {
+	r.mu.Lock()
+	if r.compacting[name] {
+		r.mu.Unlock()
+		return
+	}
+	r.compacting[name] = true
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			_, err := r.Checkpoint(name)
+			r.mu.Lock()
+			rg, ok := r.graphs[name]
+			retry := (err == nil || errors.Is(err, ErrUpdateConflict)) && ok && r.overThreshold(rg)
+			if !retry {
+				delete(r.compacting, name)
+				r.mu.Unlock()
+				return
+			}
+			r.mu.Unlock()
+		}
+	}()
+}
+
+// Quiesce blocks until background compactions launched so far finish
+// (tests and orderly shutdown).
+func (r *Registry) Quiesce() { r.wg.Wait() }
+
+// Recover replays the data directory: for every graph with a committed
+// snapshot it loads the highest base-<k>.csrz, seals it, folds the logged
+// batches with seq > k into an overlay epoch (a torn or corrupt log tail
+// is dropped and the log rewritten to the surviving prefix — a crash
+// mid-append loses at most the batch being appended), and registers the
+// result. Returns the recovered graphs' infos.
+func (r *Registry) Recover() ([]GraphInfo, error) {
+	if r.dataDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(r.dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("server: reading data dir: %w", err)
+	}
+	var infos []GraphInfo
+	for _, e := range entries {
+		if !e.IsDir() || !graphNameRE.MatchString(e.Name()) {
+			continue
+		}
+		info, err := r.recoverGraph(e.Name())
+		if err != nil {
+			return infos, fmt.Errorf("server: recovering %q: %w", e.Name(), err)
+		}
+		if info.Name != "" {
+			infos = append(infos, info)
+		}
+	}
+	return infos, nil
+}
+
+// recoverGraph restores one graph directory; a zero GraphInfo means the
+// directory held no committed snapshot and was skipped.
+func (r *Registry) recoverGraph(name string) (GraphInfo, error) {
+	st, g, batches, err := openGraphStore(r.dataDir, name)
+	if err != nil || st == nil {
+		return GraphInfo{}, err
+	}
+	seal(g)
+	ov := graph.NewOverlay(g)
+	var delta *graph.Delta
+	for i, b := range batches {
+		nov, d, err := ov.Apply(b)
+		if err != nil {
+			// Every logged batch was validated before it was appended, so
+			// a semantic rejection means snapshot and log diverged out of
+			// band; refusing the graph beats serving a guessed state.
+			st.Close()
+			return GraphInfo{}, fmt.Errorf("replaying batch %d: %w", i+1, err)
+		}
+		ov, delta = nov, &d
+	}
+	r.mu.Lock()
+	if _, ok := r.graphs[name]; ok {
+		r.mu.Unlock()
+		st.Close()
+		return GraphInfo{}, fmt.Errorf("already loaded")
+	}
+	r.epoch += uint64(1 + len(batches)) // the load plus one epoch per batch
+	info := GraphInfo{
+		Name:     name,
+		Source:   "wal:" + st.dir,
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		CSRBytes: g.CSRBytes(),
+		Epoch:    r.epoch,
+		Updates:  len(batches),
+		Form:     formCSR,
+	}
+	rg := &residentGraph{info: info, g: g, params: frameworks.DefaultParams(g), store: st}
+	if len(batches) > 0 {
+		info.Form = formOverlay
+		info.Edges = ov.NumEdges()
+		info.CSRBytes = overlayBytes(ov)
+		info.OverlayEntries = ov.Entries()
+		rg.info = info
+		rg.ov = ov
+		rg.params = frameworks.DefaultParamsOverlay(ov)
+		rg.prevEpoch = r.epoch - 1
+		rg.delta = delta
+	}
+	r.graphs[name] = rg
+	compact := r.overThreshold(rg)
+	r.mu.Unlock()
+	if compact {
+		r.compactAsync(name)
 	}
 	return info, nil
 }
@@ -264,11 +588,15 @@ func (r *Registry) UpdateState(name string) (epoch, prevEpoch uint64, delta *gra
 	return rg.info.Epoch, rg.prevEpoch, rg.delta, true
 }
 
-// Evict unregisters name, reporting whether it was present.
+// Evict unregisters name and deletes its durable state (an evicted graph
+// must not resurrect at the next boot), reporting whether it was present.
 func (r *Registry) Evict(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.graphs[name]
+	rg, ok := r.graphs[name]
+	if ok && rg.store != nil {
+		rg.store.Remove()
+	}
 	delete(r.graphs, name)
 	return ok
 }

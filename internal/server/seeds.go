@@ -50,19 +50,37 @@ const DefaultSeedBytes = 256 << 20
 // by total bytes with FIFO eviction (mirroring the result cache: with
 // deterministic values there is nothing fresher to prefer within a key,
 // and FIFO keeps eviction independent of request interleaving).
+//
+// The FIFO order is a queue with lazy deletion: each key carries a
+// generation (gen), bumped when a replacement refreshes the key's
+// eviction position, and the queue holds (key, gen) pairs of which only
+// the one matching gen[key] is live. Refreshing is therefore O(1) — an
+// append plus a map bump — instead of an O(n) rewrite of the queue.
 type seedStore struct {
 	mu       sync.Mutex
 	entries  map[string]seedEntry
-	order    []string
+	order    []seedPos
+	gen      map[string]uint64
 	bytes    int64
 	maxBytes int64
+}
+
+// seedPos is one FIFO queue slot; stale when gen no longer matches the
+// store's current generation for key.
+type seedPos struct {
+	key string
+	gen uint64
 }
 
 func newSeedStore(maxBytes int64) *seedStore {
 	if maxBytes <= 0 {
 		maxBytes = DefaultSeedBytes
 	}
-	return &seedStore{entries: make(map[string]seedEntry), maxBytes: maxBytes}
+	return &seedStore{
+		entries:  make(map[string]seedEntry),
+		gen:      make(map[string]uint64),
+		maxBytes: maxBytes,
+	}
 }
 
 // Get returns the retained entry for key.
@@ -95,24 +113,37 @@ func (s *seedStore) Put(key string, e seedEntry) {
 		s.bytes += e.Seed.Bytes() - old.Seed.Bytes()
 		s.entries[key] = e
 		// Refresh the key's eviction position: a just-replaced seed is the
-		// hottest configuration, not the first in line for eviction.
-		for i, k := range s.order {
-			if k == key {
-				s.order = append(append(s.order[:i:i], s.order[i+1:]...), key)
-				break
-			}
-		}
+		// hottest configuration, not the first in line for eviction. The
+		// old queue slot goes stale; eviction skips it.
+		s.gen[key]++
 	} else {
 		s.entries[key] = e
-		s.order = append(s.order, key)
 		s.bytes += e.Seed.Bytes()
 	}
-	for s.bytes > s.maxBytes && len(s.order) > 1 {
+	s.order = append(s.order, seedPos{key, s.gen[key]})
+	// Evict oldest-first down to the bound. The just-put entry (at the
+	// back, and known to fit alone from the check above) is never evicted,
+	// so a same-key replacement that grows the sole surviving entry still
+	// drains every OTHER key rather than stopping early and leaving the
+	// store permanently over budget.
+	for s.bytes > s.maxBytes && len(s.order) > 0 {
 		oldest := s.order[0]
 		s.order = s.order[1:]
-		if old, ok := s.entries[oldest]; ok {
+		if oldest.key == key && oldest.gen == s.gen[key] {
+			// The entry just put: put it back and stop (nothing older
+			// remains — everything else has been evicted or is stale).
+			s.order = append([]seedPos{oldest}, s.order...)
+			break
+		}
+		if oldest.gen != s.gen[oldest.key] {
+			continue // stale slot of a refreshed key
+		}
+		if old, ok := s.entries[oldest.key]; ok {
 			s.bytes -= old.Seed.Bytes()
-			delete(s.entries, oldest)
+			delete(s.entries, oldest.key)
+			// Bump (never reset) the generation so a later reinsertion of
+			// this key cannot collide with stale slots still queued.
+			s.gen[oldest.key]++
 		}
 	}
 }
@@ -126,16 +157,17 @@ func (s *seedStore) InvalidateGraph(name string) int {
 	defer s.mu.Unlock()
 	dropped := 0
 	kept := s.order[:0]
-	for _, key := range s.order {
-		if strings.HasPrefix(key, prefix) {
-			if old, ok := s.entries[key]; ok {
+	for _, slot := range s.order {
+		if strings.HasPrefix(slot.key, prefix) {
+			if old, ok := s.entries[slot.key]; ok {
 				s.bytes -= old.Seed.Bytes()
-				delete(s.entries, key)
+				delete(s.entries, slot.key)
+				s.gen[slot.key]++
 				dropped++
 			}
 			continue
 		}
-		kept = append(kept, key)
+		kept = append(kept, slot)
 	}
 	s.order = kept
 	return dropped

@@ -38,6 +38,15 @@ type Config struct {
 	MaxJobs int
 	// SeedBytes bounds the incremental seed store (0 = DefaultSeedBytes).
 	SeedBytes int64
+	// DataDir, when set, makes graphs durable: each registered graph
+	// persists a sealed .csrz snapshot plus a WAL of applied update
+	// batches, and Recover replays them at boot. Empty = in-memory only.
+	DataDir string
+	// CompactDiv sets the overlay compaction threshold divisor
+	// (0 = DefaultCompactDiv, i.e. compact once the delta exceeds |E|/20;
+	// negative disables background compaction — POST
+	// /v1/graphs/{name}/checkpoint still compacts on demand).
+	CompactDiv int64
 }
 
 // DefaultMaxJobs bounds the job history when Config.MaxJobs is 0.
@@ -138,7 +147,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		reg:     NewRegistry(),
+		reg:     NewRegistryAt(cfg.DataDir, cfg.CompactDiv),
 		cache:   NewCache(cfg.CacheEntries),
 		seeds:   newSeedStore(cfg.SeedBytes),
 		jobs:    make(map[string]*Job),
@@ -151,8 +160,15 @@ func New(cfg Config) *Server {
 // Registry exposes the graph registry (in-process loaders, tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Close drains the scheduler.
-func (s *Server) Close() { s.sched.Close() }
+// Recover replays the data directory's persisted graphs (snapshot + WAL)
+// into the registry; a no-op without a configured DataDir.
+func (s *Server) Recover() ([]GraphInfo, error) { return s.reg.Recover() }
+
+// Close drains the scheduler and waits out background compactions.
+func (s *Server) Close() {
+	s.sched.Close()
+	s.reg.Quiesce()
+}
 
 // defaultThreads resolves a request's thread count.
 func (s *Server) defaultThreads(threads int) int {
@@ -168,6 +184,11 @@ func (s *Server) defaultThreads(threads int) int {
 type jobPlan struct {
 	profile frameworks.Profile
 	g       *graph.Graph
+	// ov is non-nil when the resolved epoch is overlay-form: the job runs
+	// over the overlay (base charged as usual plus the small delta
+	// arrays), and the cache key records the form so a compaction — which
+	// keeps the epoch but changes the charging — never aliases entries.
+	ov      *graph.Overlay
 	info    GraphInfo
 	params  frameworks.Params
 	threads int
@@ -194,7 +215,7 @@ func (s *Server) validate(req JobRequest) (jobPlan, error) {
 	if err != nil {
 		return plan, err
 	}
-	g, info, ok := s.reg.Get(req.Graph)
+	g, ov, info, ok := s.reg.View(req.Graph)
 	if !ok {
 		return plan, fmt.Errorf("graph %q not loaded", req.Graph)
 	}
@@ -226,7 +247,7 @@ func (s *Server) validate(req JobRequest) (jobPlan, error) {
 	if int64(params.Source) >= int64(g.NumNodes()) {
 		return plan, fmt.Errorf("source %d out of range (graph has %d nodes)", params.Source, g.NumNodes())
 	}
-	plan.g, plan.info, plan.params, plan.threads = g, info, params, s.defaultThreads(req.Threads)
+	plan.g, plan.ov, plan.info, plan.params, plan.threads = g, ov, info, params, s.defaultThreads(req.Threads)
 	plan.opts = p.Options(req.App, plan.threads)
 	plan.opts.Backend = backend
 	return plan, nil
@@ -291,7 +312,10 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 	p, params, threads := plan.profile, plan.params, plan.threads
 	// plan.opts carries the storage backend, so the cache key (which
 	// formats the options) separates raw and compressed executions;
-	// incremental jobs get their own key namespace.
+	// incremental jobs get their own key namespace. The epoch's adjacency
+	// form is part of the key too: a compaction swaps overlay -> csr
+	// under the SAME epoch with byte-identical outputs but different
+	// charging, so the forms must not alias each other's bytes.
 	key := cacheKey(plan.info, req.App, p, threads, p.Engine(), plan.opts, params, s.cfg.Machine.Name, req.Incremental)
 	var fl *flight
 	if !req.NoCache {
@@ -338,10 +362,16 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 			}
 		}
 		var newSeed *frameworks.Seed
-		res, newSeed, err = p.RunIncrementalOnOpts(m, plan.g, req.App, plan.opts, params, seed, delta)
+		if plan.ov != nil {
+			res, newSeed, err = p.RunIncrementalOverlayOnOpts(m, plan.ov, req.App, plan.opts, params, seed, delta)
+		} else {
+			res, newSeed, err = p.RunIncrementalOnOpts(m, plan.g, req.App, plan.opts, params, seed, delta)
+		}
 		if err == nil {
 			s.seeds.Put(skey, seedEntry{Epoch: plan.info.Epoch, Seed: newSeed})
 		}
+	} else if plan.ov != nil {
+		res, err = p.RunOverlayOnOpts(m, plan.ov, req.App, plan.opts, params)
 	} else {
 		res, err = p.RunOnOpts(m, plan.g, req.App, plan.opts, params)
 	}
@@ -425,6 +455,8 @@ type loadGraphRequest struct {
 //	GET    /v1/graphs                  resident graphs
 //	POST   /v1/graphs                  load a Table 3 input or CSR file
 //	POST   /v1/graphs/{name}/updates   apply an edge-update batch (new epoch)
+//	POST   /v1/graphs/{name}/checkpoint  merge the overlay into a sealed
+//	                                   CSR snapshot and truncate the WAL
 //	DELETE /v1/graphs/{name}           evict (and invalidate cached results)
 //	POST   /v1/jobs                    submit a kernel job (?wait=1 blocks)
 //	GET    /v1/jobs                    job statuses
@@ -447,6 +479,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/graphs", s.handleLoadGraph)
 	mux.HandleFunc("POST /v1/graphs/{name}/updates", s.handleGraphUpdates)
+	mux.HandleFunc("POST /v1/graphs/{name}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if !s.reg.Evict(name) {
@@ -529,6 +562,29 @@ func (s *Server) handleGraphUpdates(w http.ResponseWriter, r *http.Request) {
 		"applied":               len(req.Updates),
 		"cache_entries_dropped": dropped,
 	})
+}
+
+// handleCheckpoint merges the named graph's overlay epoch into a fresh
+// sealed CSR, persists it as the new snapshot (when a data dir is
+// configured) and truncates the subsumed WAL. The epoch is unchanged —
+// this is a form change, not a data change — so no cache invalidation
+// happens; post-checkpoint jobs simply key under the csr form. A batch
+// racing the checkpoint wins: the caller gets 409 and can retry.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.reg.Checkpoint(name)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNotLoaded):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrUpdateConflict):
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graph": info})
 }
 
 // jsonErrors wraps the mux so its built-in plain-text error responses

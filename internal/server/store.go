@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pmemgraph/internal/graph"
+)
+
+// graphStore is one graph's durable state under the registry's data
+// directory: dataDir/<name>/ holds
+//
+//	base-<k>.csrz   sealed snapshot subsuming the first k update batches
+//	wal.log         WAL records for batches k+1, k+2, ... (graph.AppendLog)
+//
+// The crash-consistency protocol hangs on two facts. First, WAL records
+// carry GLOBAL per-graph sequence numbers that are never renumbered, and
+// the snapshot's filename records which sequences it subsumes — so replay
+// is always "load the highest base-<k>, apply logged batches with seq > k"
+// and a crash at ANY point between a snapshot commit and the log
+// truncation that follows it merely leaves already-subsumed records in the
+// log, which replay skips by sequence instead of applying twice. Second,
+// every multi-byte commit is a single rename: snapshots are written to a
+// temp file and renamed into place, so a torn snapshot write leaves the
+// previous base-<k> (and the log records it needs) untouched.
+type graphStore struct {
+	dir string
+	// wal is the open append handle; appends are serialized by the
+	// registry's write lock.
+	wal *os.File
+	// baseSeq is k of the live base-<k>.csrz; nextSeq the sequence the
+	// next appended batch gets.
+	baseSeq uint64
+	nextSeq uint64
+}
+
+const walFileName = "wal.log"
+
+func basePath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("base-%d.csrz", seq))
+}
+
+// openWAL (re)opens the append handle.
+func (st *graphStore) openWAL() error {
+	f, err := os.OpenFile(filepath.Join(st.dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: opening WAL: %w", err)
+	}
+	st.wal = f
+	return nil
+}
+
+// createGraphStore initializes a fresh graph directory with g as the
+// batch-zero snapshot and an empty log. A leftover directory from an
+// evicted or half-created graph of the same name is removed first.
+func createGraphStore(dataDir, name string, g *graph.Graph) (*graphStore, error) {
+	dir := filepath.Join(dataDir, name)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("server: clearing graph dir: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating graph dir: %w", err)
+	}
+	st := &graphStore{dir: dir, baseSeq: 0, nextSeq: 1}
+	tmp, err := st.writeSnapshot(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, basePath(dir, 0)); err != nil {
+		return nil, fmt.Errorf("server: committing snapshot: %w", err)
+	}
+	if err := st.openWAL(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// writeSnapshot serializes g to a temp file in the store's directory and
+// returns its path; the caller commits it with a rename (or removes it).
+// Fsync before rename makes the rename a real commit point.
+func (st *graphStore) writeSnapshot(g *graph.Graph) (string, error) {
+	f, err := os.CreateTemp(st.dir, ".base-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("server: creating snapshot temp: %w", err)
+	}
+	if err := graph.WriteCSRZ(f, g); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(f.Name())
+		return "", fmt.Errorf("server: writing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", fmt.Errorf("server: closing snapshot: %w", err)
+	}
+	return f.Name(), nil
+}
+
+// AppendBatch logs one update batch durably; called under the registry
+// write lock, after the epoch conflict check and before the epoch swap, so
+// the log order is exactly the epoch order and no unlogged epoch is ever
+// visible.
+func (st *graphStore) AppendBatch(ups []graph.EdgeUpdate) error {
+	if err := graph.AppendLog(st.wal, st.nextSeq, ups); err != nil {
+		return err
+	}
+	if err := st.wal.Sync(); err != nil {
+		return err
+	}
+	st.nextSeq++
+	return nil
+}
+
+// CommitSnapshot promotes tmp (from writeSnapshot) to the live base
+// subsuming every batch logged so far, then truncates the log. Called
+// under the registry write lock after re-checking that no batch landed
+// since the snapshot was rendered. A crash between the rename and the
+// truncation is benign: the log still holds only records with seq <=
+// baseSeq, which recovery skips.
+func (st *graphStore) CommitSnapshot(tmp string) error {
+	upTo := st.nextSeq - 1
+	if err := os.Rename(tmp, basePath(st.dir, upTo)); err != nil {
+		return fmt.Errorf("server: committing snapshot: %w", err)
+	}
+	if old := st.baseSeq; old != upTo {
+		os.Remove(basePath(st.dir, old))
+	}
+	st.baseSeq = upTo
+	st.wal.Close()
+	if err := os.Remove(filepath.Join(st.dir, walFileName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: truncating WAL: %w", err)
+	}
+	return st.openWAL()
+}
+
+// Close releases the WAL handle.
+func (st *graphStore) Close() {
+	if st.wal != nil {
+		st.wal.Close()
+		st.wal = nil
+	}
+}
+
+// Remove deletes the graph's directory (eviction).
+func (st *graphStore) Remove() {
+	st.Close()
+	os.RemoveAll(st.dir)
+}
+
+// openGraphStore recovers one graph directory: it loads the highest
+// base-<k> snapshot, replays the logged batches with seq > k (skipping
+// records a committed snapshot already subsumes, stopping at a torn or
+// corrupt tail), rewrites the log to exactly the replayed records, and
+// returns the sealed base plus the surviving batches in order. A directory
+// with no committed snapshot yields (nil store) — there is nothing to
+// serve from it.
+func openGraphStore(dataDir, name string) (*graphStore, *graph.Graph, [][]graph.EdgeUpdate, error) {
+	dir := filepath.Join(dataDir, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("server: reading graph dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		n := e.Name()
+		if !strings.HasPrefix(n, "base-") || !strings.HasSuffix(n, ".csrz") {
+			continue
+		}
+		k, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, "base-"), ".csrz"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, k)
+	}
+	if len(seqs) == 0 {
+		return nil, nil, nil, nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	baseSeq := seqs[len(seqs)-1]
+	f, err := os.Open(basePath(dir, baseSeq))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("server: opening snapshot: %w", err)
+	}
+	g, err := graph.ReadCSRZ(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("server: reading snapshot: %w", err)
+	}
+	// A superseded snapshot survives a crash between a commit rename and
+	// the old file's removal; finish the job.
+	for _, k := range seqs[:len(seqs)-1] {
+		os.Remove(basePath(dir, k))
+	}
+
+	var batches [][]graph.EdgeUpdate
+	first := uint64(0)
+	if wf, err := os.Open(filepath.Join(dir, walFileName)); err == nil {
+		first, batches, err = graph.ReadLogSeq(wf)
+		wf.Close()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("server: opening WAL: %w", err)
+	}
+	// Keep only batches the snapshot does not subsume. A log that starts
+	// BEYOND baseSeq+1 has a gap against the snapshot — nothing in it can
+	// be trusted to follow the snapshot's state, so it is dropped whole.
+	switch {
+	case len(batches) == 0:
+	case first > baseSeq+1:
+		batches = nil
+	case first+uint64(len(batches)) <= baseSeq+1:
+		batches = nil
+	default:
+		batches = batches[baseSeq+1-first:]
+	}
+
+	// Rewrite the log to exactly the surviving records (dropping torn
+	// tails, subsumed records and untrusted suffixes) so future appends
+	// land on a clean, replayable stream. Same single-rename commit.
+	tmp, err := os.CreateTemp(dir, ".wal-*.tmp")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("server: creating WAL temp: %w", err)
+	}
+	for i, b := range batches {
+		if err == nil {
+			err = graph.AppendLog(tmp, baseSeq+1+uint64(i), b)
+		}
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, nil, fmt.Errorf("server: rewriting WAL: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, walFileName)); err != nil {
+		return nil, nil, nil, fmt.Errorf("server: rewriting WAL: %w", err)
+	}
+
+	st := &graphStore{dir: dir, baseSeq: baseSeq, nextSeq: baseSeq + 1 + uint64(len(batches))}
+	if err := st.openWAL(); err != nil {
+		return nil, nil, nil, err
+	}
+	return st, g, batches, nil
+}

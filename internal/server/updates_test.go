@@ -22,10 +22,11 @@ func updateBody(ups []graph.EdgeUpdate) map[string]any {
 }
 
 // nextBatch generates a valid batch for the server's CURRENT state of
-// name (the generator validates against the live graph).
+// name (the generator validates against a snapshot of the live epoch —
+// which may be overlay-form, so the materialized copy is the reference).
 func nextBatch(t *testing.T, srv *Server, name string, size int, seed uint64) []graph.EdgeUpdate {
 	t.Helper()
-	g, _, ok := srv.Registry().Get(name)
+	g, _, ok := srv.Registry().Snapshot(name)
 	if !ok {
 		t.Fatalf("graph %q not registered", name)
 	}
@@ -58,13 +59,16 @@ func TestUpdatesEndpoint(t *testing.T) {
 	if out.Graph.Epoch <= info0.Epoch || out.Graph.Updates != 1 {
 		t.Fatalf("epoch/updates not bumped: %+v (was epoch %d)", out.Graph, info0.Epoch)
 	}
-	g1, info1, _ := srv.Registry().Get("web")
+	g1, info1, _ := srv.Registry().Snapshot("web")
 	if info1.Epoch != out.Graph.Epoch || g1.NumEdges() != out.Graph.Edges {
 		t.Fatalf("registry state %+v does not match response %+v", info1, out.Graph)
 	}
-	// The swapped-in epoch is sealed like a loaded graph.
+	// The swapped-in epoch materializes to a graph sealed like a loaded one.
 	if !g1.HasWeights() || !g1.HasIn() {
 		t.Fatal("updated graph was not sealed")
+	}
+	if info1.Form != formOverlay || info1.OverlayEntries == 0 {
+		t.Fatalf("updated epoch is not overlay-form: %+v", info1)
 	}
 
 	// Error surfaces.
@@ -103,7 +107,7 @@ func TestRegistryConcurrentUpdatesConflict(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 6; i++ {
-				g, _, _ := reg.Get("g")
+				g, _, _ := reg.Snapshot("g")
 				stream, err := gen.UpdateStream(g, 1, 4, uint64(w*100+i), false)
 				if err != nil {
 					t.Error(err)
@@ -157,9 +161,23 @@ func TestJobsRacingUpdatesNeverObserveStaleResults(t *testing.T) {
 		return body
 	}
 	direct := func() []byte {
-		g, _, _ := srv.Registry().Get("erdos")
+		// Run the SAME form the server would: post-update epochs are
+		// overlay-form and their charging differs from a csr run, so the
+		// byte comparison must go through the overlay path too.
+		g, ov, _, ok := srv.Registry().View("erdos")
+		if !ok {
+			t.Fatal("erdos not registered")
+		}
 		p, _ := frameworks.ByName("Galois")
-		res, err := p.RunOn(memsim.NewMachine(srv.cfg.Machine), g, "cc", 8, frameworks.DefaultParams(g))
+		m := memsim.NewMachine(srv.cfg.Machine)
+		opts := p.Options("cc", 8)
+		var res *analytics.Result
+		var err error
+		if ov != nil {
+			res, err = p.RunOverlayOnOpts(m, ov, "cc", opts, frameworks.DefaultParamsOverlay(ov))
+		} else {
+			res, err = p.RunOnOpts(m, g, "cc", opts, frameworks.DefaultParams(g))
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,7 +270,9 @@ func TestIncrementalJobServing(t *testing.T) {
 	defer ts.Close()
 
 	directFull := func(app string) *analytics.Result {
-		g, _, _ := srv.Registry().Get("web")
+		// Only outputs are compared below, so a materialized snapshot run
+		// (csr form) is a valid reference for the overlay-form serving.
+		g, _, _ := srv.Registry().Snapshot("web")
 		p, _ := frameworks.ByName("Galois")
 		res, err := p.RunOn(memsim.NewMachine(srv.cfg.Machine), g, app, 8, frameworks.DefaultParams(g))
 		if err != nil {
@@ -434,6 +454,30 @@ func TestSeedStoreEpochPrecedenceAndBounds(t *testing.T) {
 	}
 	if _, ok := refresh.Get("y|k"); ok {
 		t.Fatal("replace kept the stale seed instead of evicting it")
+	}
+
+	// Regression: a same-key replacement that grows the sole surviving
+	// entry past the bound must still drain the other keys instead of
+	// stopping at len(order) == 1 and leaving the store permanently over
+	// budget.
+	grow := newSeedStore(4 * 100)
+	grow.Put("p|k", seedEntry{Epoch: 1, Seed: mk(30)})
+	grow.Put("q|k", seedEntry{Epoch: 1, Seed: mk(30)})
+	grow.Put("q|k", seedEntry{Epoch: 2, Seed: mk(95)}) // 125 elems > 100
+	if _, ok := grow.Get("q|k"); !ok {
+		t.Fatal("growth replace evicted the entry it just stored")
+	}
+	if _, ok := grow.Get("p|k"); ok {
+		t.Fatal("growth replace kept the older key while over budget")
+	}
+	if st := grow.Stats(); st.Bytes > grow.maxBytes {
+		t.Fatalf("store left over budget: %d > %d", st.Bytes, grow.maxBytes)
+	}
+	// And when the grown entry IS the only one, it must survive (it fits
+	// alone) with the store back under the bound.
+	grow.Put("q|k", seedEntry{Epoch: 3, Seed: mk(99)})
+	if st := grow.Stats(); st.Entries != 1 || st.Bytes != 4*99 {
+		t.Fatalf("sole-entry growth stats %+v", st)
 	}
 }
 
