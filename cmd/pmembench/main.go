@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pmembench [-exp table4] [-scale full|small] [-quick]
+//	          [-serve-trace trace.json]
 package main
 
 import (
@@ -23,13 +24,14 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "input/machine scale: full or small")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	jsonPath := flag.String("json", "BENCH_figures.json", "write machine-readable results (experiment -> simulated + wall time) to this file; empty disables")
+	serveTrace := flag.String("serve-trace", "", "write figServe's generated workload trace (replayable loadgen JSON) to this file")
 	flag.Parse()
 
 	scale := gen.ScaleSmall
 	if *scaleFlag == "full" {
 		scale = gen.ScaleFull
 	}
-	opts := bench.Options{Scale: scale, Quick: *quick, Out: os.Stdout}
+	opts := bench.Options{Scale: scale, Quick: *quick, Out: os.Stdout, TraceOut: *serveTrace}
 	if *jsonPath != "" {
 		opts.Sink = &bench.Sink{}
 	}

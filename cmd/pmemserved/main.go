@@ -12,15 +12,20 @@
 // /v1/graphs/{name}/checkpoint (and the automatic overlay compaction)
 // seals a .csrz snapshot and truncates the log, and a restart replays
 // snapshot + surviving log records to reconstruct the latest epoch —
-// torn or truncated tails are detected and dropped. See the README's
+// torn or truncated tails are detected and dropped. Admission is
+// class-based (-classes): each job class gets its own bounded queue and
+// weighted share of the workers, requests may carry "class" and
+// "deadline_ms", and jobs whose deadline expires while queued are shed
+// with a structured 503 instead of executed. See the README's
 // "pmemserved HTTP API" reference and DESIGN.md "Serving layer" /
 // "Streaming updates & incremental kernels" / "Durability & epoch
-// compaction".
+// compaction" / "Serving under load".
 //
 // Usage:
 //
 //	pmemserved [-addr :8097] [-machine optane|dram|entropy]
 //	           [-scale small|full] [-workers 4] [-queue 256]
+//	           [-classes interactive:4:256,batch:1:512]
 //	           [-cache 1024] [-seed-mb 256] [-preload clueweb12,kron30]
 //	           [-data-dir /var/lib/pmemserved] [-compact-div 20]
 package main
@@ -42,7 +47,9 @@ func main() {
 	machine := flag.String("machine", "optane", "simulated platform: optane, dram or entropy")
 	scaleFlag := flag.String("scale", "small", "input/machine scale: full or small")
 	workers := flag.Int("workers", server.DefaultWorkers, "max concurrent kernel executions")
-	queue := flag.Int("queue", server.DefaultQueueCap, "max queued jobs before 429")
+	queue := flag.Int("queue", 0, "override every class's queue cap (0 = per-class defaults)")
+	classesFlag := flag.String("classes", "",
+		"admission classes as name[:weight[:queuecap]],... (default interactive:4:256,batch:1:512)")
 	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "max cached results")
 	seedMB := flag.Int64("seed-mb", server.DefaultSeedBytes>>20, "max megabytes of retained incremental seeds")
 	preload := flag.String("preload", "", "comma-separated Table 3 inputs to load at startup")
@@ -75,10 +82,20 @@ func main() {
 	}
 	cfg = memsim.Scaled(cfg, scale.Div())
 
+	var classes []server.ClassConfig
+	if *classesFlag != "" {
+		var err error
+		if classes, err = server.ParseClasses(*classesFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "pmemserved: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	srv := server.New(server.Config{
 		Machine:      cfg,
 		Workers:      *workers,
 		QueueCap:     *queue,
+		Classes:      classes,
 		CacheEntries: *cacheEntries,
 		SeedBytes:    *seedMB << 20,
 		DataDir:      *dataDir,

@@ -29,6 +29,10 @@ type Options struct {
 	// table output: one wall-time record per experiment from Run, plus one
 	// simulated-time record per kernel execution from the figure runners.
 	Sink *Sink
+	// TraceOut, when non-empty, makes figServe write its generated workload
+	// trace (the replay input, versioned loadgen JSON) to this path so the
+	// exact run can be replayed or inspected.
+	TraceOut string
 
 	// current is the experiment name Run is executing, stamped onto
 	// records emitted by runners.
@@ -65,6 +69,26 @@ type Record struct {
 	Threads     int     `json:"threads,omitempty"`
 	SimSeconds  float64 `json:"sim_seconds,omitempty"`
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// figServe fields: one record per (scheduling mode, offered load,
+	// class). Mode is the scheduler shape (fifo/priority), Class the
+	// workload class the row aggregates, OfferedRPS the open-loop arrival
+	// rate, Events the class's arrivals in the trace. Completed/Rejected/
+	// Shed partition the class's outcomes; DeadlineMissed counts jobs that
+	// blew their SLO (completed late, shed, or rejected). The latency
+	// percentiles are wall milliseconds from intended arrival to terminal
+	// state, and GoodputRPS is within-SLO completions per wall second.
+	Mode           string  `json:"mode,omitempty"`
+	Class          string  `json:"class,omitempty"`
+	OfferedRPS     float64 `json:"offered_rps,omitempty"`
+	Events         int     `json:"events,omitempty"`
+	Completed      uint64  `json:"completed,omitempty"`
+	Rejected       uint64  `json:"rejected,omitempty"`
+	Shed           uint64  `json:"shed,omitempty"`
+	DeadlineMissed uint64  `json:"deadline_missed,omitempty"`
+	P50Ms          float64 `json:"p50_ms,omitempty"`
+	P99Ms          float64 `json:"p99_ms,omitempty"`
+	P999Ms         float64 `json:"p999_ms,omitempty"`
+	GoodputRPS     float64 `json:"goodput_rps,omitempty"`
 }
 
 // Sink is a concurrency-safe Record collector backing BENCH_figures.json.
@@ -150,6 +174,8 @@ var registry = map[string]struct {
 		FigStream},
 	"figSeal": {"Epoch sealing: delta-overlay apply vs full CSR rebuild by batch size",
 		FigSeal},
+	"figServe": {"Serving under load: per-class tail latency and goodput vs offered load",
+		FigServe},
 }
 
 // Experiments returns the registered experiment names in run order.
@@ -168,7 +194,7 @@ func orderKey(name string) string {
 		"table1": 1, "table2": 2, "table3": 3, "fig4a": 4, "fig4b": 5,
 		"fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9, "fig9": 10,
 		"fig10": 11, "table4": 12, "fig11": 13, "table5": 14,
-		"figCompress": 15, "figStream": 16, "figSeal": 17,
+		"figCompress": 15, "figStream": 16, "figSeal": 17, "figServe": 18,
 	}
 	return fmt.Sprintf("%02d", order[name])
 }

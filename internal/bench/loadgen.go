@@ -1,59 +1,16 @@
 package bench
 
-import (
-	"fmt"
+import "pmemgraph/internal/loadgen"
 
-	"pmemgraph/internal/frameworks"
-)
+// JobSpec re-exports loadgen.JobSpec: one request of a generated serving
+// workload. The generator proper lives in internal/loadgen (a leaf package
+// below the serving layer) so that this package can drive internal/server
+// in-process — figServe — while the server's own conformance tests keep
+// replaying Workload specs without an import cycle.
+type JobSpec = loadgen.JobSpec
 
-// JobSpec is one request of a generated serving workload: run App on Graph
-// under Framework with Threads virtual threads. The serving layer's
-// conformance suite and load tests replay these against cmd/pmemserved's
-// HTTP API.
-type JobSpec struct {
-	Graph     string `json:"graph"`
-	App       string `json:"app"`
-	Framework string `json:"framework"`
-	Threads   int    `json:"threads"`
-}
-
-// Workload deterministically generates n mixed-kernel job specs over the
-// given resident graph names: the serving-side analogue of the harness's
-// input builders. Graphs, apps and frameworks are cycled through a fixed
-// xorshift stream seeded by seed, and only (framework, app) pairs the
-// profile actually implements are emitted, so every spec is runnable.
-// Identical (graphs, seed, n, threads) always yield the identical spec
-// sequence — which is what lets a cache-warm replay assert byte-identical
-// responses against its cold run.
+// Workload forwards to loadgen.Workload, preserving the historical bench
+// API for the harness and external callers.
 func Workload(graphs []string, seed uint64, n, threads int) ([]JobSpec, error) {
-	if len(graphs) == 0 {
-		return nil, fmt.Errorf("bench: workload needs at least one graph")
-	}
-	if threads <= 0 {
-		threads = 8
-	}
-	profiles := frameworks.All()
-	apps := frameworks.Apps()
-	x := seed*2862933555777941757 + 3037000493
-	next := func(bound int) int {
-		x ^= x >> 12
-		x ^= x << 25
-		x ^= x >> 27
-		return int((x * 0x2545F4914F6CDD1D) >> 33 % uint64(bound))
-	}
-	specs := make([]JobSpec, 0, n)
-	for len(specs) < n {
-		p := profiles[next(len(profiles))]
-		app := apps[next(len(apps))]
-		if !p.Supports(app) {
-			continue
-		}
-		specs = append(specs, JobSpec{
-			Graph:     graphs[next(len(graphs))],
-			App:       app,
-			Framework: p.Name,
-			Threads:   threads,
-		})
-	}
-	return specs, nil
+	return loadgen.Workload(graphs, seed, n, threads)
 }

@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"pmemgraph/internal/frameworks"
+)
+
+// JobSpec is one request of a generated serving workload: run App on Graph
+// under Framework with Threads virtual threads. The serving layer's
+// conformance suite and load tests replay these against cmd/pmemserved's
+// HTTP API.
+type JobSpec struct {
+	Graph     string `json:"graph"`
+	App       string `json:"app"`
+	Framework string `json:"framework"`
+	Threads   int    `json:"threads"`
+}
+
+// Workload deterministically generates n mixed-kernel job specs over the
+// given resident graph names: the serving-side analogue of the harness's
+// input builders. Graphs, apps and frameworks are cycled through a fixed
+// xorshift stream seeded by seed, and only (framework, app) pairs the
+// profile actually implements are emitted, so every spec is runnable.
+// Identical (graphs, seed, n, threads) always yield the identical spec
+// sequence — which is what lets a cache-warm replay assert byte-identical
+// responses against its cold run.
+func Workload(graphs []string, seed uint64, n, threads int) ([]JobSpec, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("loadgen: workload needs at least one graph")
+	}
+	if threads <= 0 {
+		threads = 8
+	}
+	profiles := frameworks.All()
+	apps := frameworks.Apps()
+	x := seed*2862933555777941757 + 3037000493
+	next := func(bound int) int {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return int((x * 0x2545F4914F6CDD1D) >> 33 % uint64(bound))
+	}
+	specs := make([]JobSpec, 0, n)
+	for len(specs) < n {
+		p := profiles[next(len(profiles))]
+		app := apps[next(len(apps))]
+		if !p.Supports(app) {
+			continue
+		}
+		specs = append(specs, JobSpec{
+			Graph:     graphs[next(len(graphs))],
+			App:       app,
+			Framework: p.Name,
+			Threads:   threads,
+		})
+	}
+	return specs, nil
+}

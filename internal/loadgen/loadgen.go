@@ -1,0 +1,339 @@
+// Package loadgen generates deterministic open-loop temporal serving
+// workloads: seeded arrival processes (steady, diurnal multi-period,
+// bursty on/off) over user cohorts with Zipf-skewed graph and kernel
+// popularity, emitted as a replayable versioned JSON trace with
+// virtual-time arrival stamps.
+//
+// Determinism contract: Generate is a pure function of its Spec — the same
+// spec (including the seed) produces the same Trace, and Marshal produces
+// byte-identical JSON, at any GOMAXPROCS (generation is sequential and
+// uses a private splitmix64 stream, never math/rand or the clock). Traces
+// therefore replay exactly: the figServe experiment and the serving load
+// tests drive pmemserved from them, and only the replay's wall-clock
+// latencies are nondeterministic.
+//
+// The trace records VIRTUAL time (microseconds from trace start). A
+// replayer maps virtual to real time with whatever speedup it wants; the
+// arrival ordering and job mix never change. This sits at the bottom of
+// the dependency graph next to internal/gen: no simulator, no server.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// TraceVersion is the serialized trace format version; Parse rejects
+// anything else.
+const TraceVersion = 1
+
+// Arrival process kinds.
+type ArrivalKind string
+
+const (
+	// ArrivalSteady is a constant-rate Poisson-like process (exponential
+	// inter-arrivals from the seeded stream).
+	ArrivalSteady ArrivalKind = "steady"
+	// ArrivalDiurnal modulates the base rate with one sinusoid per
+	// configured Period (day/week-style multi-period traffic), floored at
+	// zero, sampled by thinning.
+	ArrivalDiurnal ArrivalKind = "diurnal"
+	// ArrivalBursty alternates on/off phases: rate*BurstFactor while on,
+	// rate/BurstFactor while off.
+	ArrivalBursty ArrivalKind = "bursty"
+)
+
+// Period is one diurnal modulation component: the instantaneous rate gains
+// Amplitude*sin(2*pi*t/Seconds).
+type Period struct {
+	Seconds   float64 `json:"seconds"`
+	Amplitude float64 `json:"amplitude"`
+}
+
+// Cohort is one user population: a share of the offered load submitting
+// one job class, with Zipf-skewed popularity over its ranked graphs and
+// apps (rank 0 is the most popular; skew 0 means uniform).
+type Cohort struct {
+	Name   string  `json:"name"`
+	Class  string  `json:"class"`
+	Weight float64 `json:"weight"` // share of events, relative to other cohorts
+	Users  int     `json:"users"`  // distinct user ids in [0, Users)
+	// Graphs and Apps are ranked most-popular-first; GraphSkew/AppSkew are
+	// the Zipf exponents (P(rank k) proportional to 1/(k+1)^skew).
+	Graphs    []string `json:"graphs"`
+	GraphSkew float64  `json:"graph_skew,omitempty"`
+	Apps      []string `json:"apps"`
+	AppSkew   float64  `json:"app_skew,omitempty"`
+	Threads   int      `json:"threads,omitempty"`
+	// DeadlineMS, when positive, stamps every event of this cohort with a
+	// relative deadline (the class SLO) the scheduler may shed against.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Spec configures one trace generation.
+type Spec struct {
+	Seed     uint64      `json:"seed"`
+	Arrival  ArrivalKind `json:"arrival"`
+	Rate     float64     `json:"rate"`     // mean events per virtual second
+	Duration float64     `json:"duration"` // virtual seconds
+	Periods  []Period    `json:"periods,omitempty"`
+	// Bursty parameters: OnSeconds at Rate*BurstFactor, then OffSeconds at
+	// Rate/BurstFactor, repeating.
+	OnSeconds   float64  `json:"on_seconds,omitempty"`
+	OffSeconds  float64  `json:"off_seconds,omitempty"`
+	BurstFactor float64  `json:"burst_factor,omitempty"`
+	Cohorts     []Cohort `json:"cohorts"`
+}
+
+// Event is one arrival: a job submission at a virtual time.
+type Event struct {
+	Seq       int    `json:"seq"`
+	ArrivalUS int64  `json:"arrival_us"` // virtual microseconds from trace start
+	Cohort    string `json:"cohort"`
+	Class     string `json:"class"`
+	User      int    `json:"user"`
+	Graph     string `json:"graph"`
+	App       string `json:"app"`
+	Threads   int    `json:"threads,omitempty"`
+	// DeadlineMS is the relative deadline (SLO) in milliseconds from
+	// submission; 0 means none.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Trace is the replayable workload: the generating spec's identity plus
+// the arrival-stamped events, serialized as versioned JSON.
+type Trace struct {
+	Version int     `json:"version"`
+	Spec    Spec    `json:"spec"`
+	Events  []Event `json:"events"`
+}
+
+// rng is a splitmix64 stream, the same generator idiom internal/gen uses.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp returns a unit-mean exponential variate.
+func (r *rng) exp() float64 {
+	u := r.float()
+	// 1-u is in (0, 1], so the log is finite.
+	return -math.Log(1 - u)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// zipf is a precomputed Zipf sampler over n ranks: P(k) ~ 1/(k+1)^skew.
+type zipf struct{ cum []float64 }
+
+func newZipf(n int, skew float64) zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), skew)
+		cum[k] = total
+	}
+	return zipf{cum: cum}
+}
+
+func (z zipf) pick(r *rng) int {
+	x := r.float() * z.cum[len(z.cum)-1]
+	for k, c := range z.cum {
+		if x <= c {
+			return k
+		}
+	}
+	return len(z.cum) - 1
+}
+
+// validate checks the spec before generation.
+func (s Spec) validate() error {
+	if s.Rate <= 0 {
+		return fmt.Errorf("loadgen: rate must be positive (got %v)", s.Rate)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be positive (got %v)", s.Duration)
+	}
+	switch s.Arrival {
+	case ArrivalSteady:
+	case ArrivalDiurnal:
+		if len(s.Periods) == 0 {
+			return fmt.Errorf("loadgen: diurnal arrivals need at least one period")
+		}
+		for i, p := range s.Periods {
+			if p.Seconds <= 0 || p.Amplitude < 0 {
+				return fmt.Errorf("loadgen: period %d invalid (seconds %v, amplitude %v)", i, p.Seconds, p.Amplitude)
+			}
+		}
+	case ArrivalBursty:
+		if s.OnSeconds <= 0 || s.OffSeconds <= 0 {
+			return fmt.Errorf("loadgen: bursty arrivals need positive on/off phases")
+		}
+		if s.BurstFactor < 1 {
+			return fmt.Errorf("loadgen: burst factor must be >= 1 (got %v)", s.BurstFactor)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown arrival kind %q", s.Arrival)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("loadgen: at least one cohort required")
+	}
+	for i, c := range s.Cohorts {
+		switch {
+		case c.Name == "":
+			return fmt.Errorf("loadgen: cohort %d has no name", i)
+		case c.Class == "":
+			return fmt.Errorf("loadgen: cohort %q has no class", c.Name)
+		case c.Weight <= 0:
+			return fmt.Errorf("loadgen: cohort %q weight must be positive", c.Name)
+		case c.Users <= 0:
+			return fmt.Errorf("loadgen: cohort %q needs at least one user", c.Name)
+		case len(c.Graphs) == 0 || len(c.Apps) == 0:
+			return fmt.Errorf("loadgen: cohort %q needs graphs and apps", c.Name)
+		case c.GraphSkew < 0 || c.AppSkew < 0:
+			return fmt.Errorf("loadgen: cohort %q skew must be non-negative", c.Name)
+		case c.DeadlineMS < 0:
+			return fmt.Errorf("loadgen: cohort %q deadline must be non-negative", c.Name)
+		}
+	}
+	return nil
+}
+
+// rate returns the instantaneous arrival rate at virtual time t, and the
+// process's rate ceiling (for thinning).
+func (s Spec) rate(t float64) float64 {
+	switch s.Arrival {
+	case ArrivalDiurnal:
+		r := s.Rate
+		for _, p := range s.Periods {
+			r += s.Rate * p.Amplitude * math.Sin(2*math.Pi*t/p.Seconds)
+		}
+		if r < 0 {
+			r = 0
+		}
+		return r
+	case ArrivalBursty:
+		phase := math.Mod(t, s.OnSeconds+s.OffSeconds)
+		if phase < s.OnSeconds {
+			return s.Rate * s.BurstFactor
+		}
+		return s.Rate / s.BurstFactor
+	default:
+		return s.Rate
+	}
+}
+
+func (s Spec) rateCeiling() float64 {
+	switch s.Arrival {
+	case ArrivalDiurnal:
+		max := s.Rate
+		for _, p := range s.Periods {
+			max += s.Rate * p.Amplitude
+		}
+		return max
+	case ArrivalBursty:
+		return s.Rate * s.BurstFactor
+	default:
+		return s.Rate
+	}
+}
+
+// Generate produces the trace: arrivals by Lewis-Shedler thinning against
+// the process's rate ceiling, each event assigned to a cohort by weight
+// and to a (user, graph, app) by the cohort's popularity distributions.
+// Arrival stamps are strictly increasing (thinning cannot produce ties at
+// microsecond resolution without astronomically high rates; equal stamps
+// are bumped by 1us to keep the ordering total).
+func (s Spec) Generate() (*Trace, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	r := &rng{state: s.Seed}
+	// Cohort choice by cumulative weight; per-cohort Zipf samplers.
+	cumW := make([]float64, len(s.Cohorts))
+	totalW := 0.0
+	graphZ := make([]zipf, len(s.Cohorts))
+	appZ := make([]zipf, len(s.Cohorts))
+	for i, c := range s.Cohorts {
+		totalW += c.Weight
+		cumW[i] = totalW
+		graphZ[i] = newZipf(len(c.Graphs), c.GraphSkew)
+		appZ[i] = newZipf(len(c.Apps), c.AppSkew)
+	}
+	ceiling := s.rateCeiling()
+	tr := &Trace{Version: TraceVersion, Spec: s}
+	t := 0.0
+	lastUS := int64(-1)
+	for {
+		t += r.exp() / ceiling
+		if t > s.Duration {
+			break
+		}
+		if r.float()*ceiling > s.rate(t) {
+			continue // thinned: instantaneous rate is below the ceiling
+		}
+		us := int64(t * 1e6)
+		if us <= lastUS {
+			us = lastUS + 1
+		}
+		lastUS = us
+		ci := len(s.Cohorts) - 1
+		x := r.float() * totalW
+		for i, c := range cumW {
+			if x <= c {
+				ci = i
+				break
+			}
+		}
+		c := s.Cohorts[ci]
+		tr.Events = append(tr.Events, Event{
+			Seq:        len(tr.Events),
+			ArrivalUS:  us,
+			Cohort:     c.Name,
+			Class:      c.Class,
+			User:       r.intn(c.Users),
+			Graph:      c.Graphs[graphZ[ci].pick(r)],
+			App:        c.Apps[appZ[ci].pick(r)],
+			Threads:    c.Threads,
+			DeadlineMS: c.DeadlineMS,
+		})
+	}
+	return tr, nil
+}
+
+// Marshal serializes the trace as indented JSON (deterministic: the
+// encoder walks struct fields in declaration order, and the trace holds no
+// maps). A trailing newline makes the bytes file- and diff-friendly.
+func (t *Trace) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: marshaling trace: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Parse deserializes a trace, rejecting unknown versions.
+func Parse(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("loadgen: unsupported trace version %d (want %d)", t.Version, TraceVersion)
+	}
+	return &t, nil
+}

@@ -1,0 +1,263 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func testSpec(arrival ArrivalKind) Spec {
+	s := Spec{
+		Seed:     0xC0FFEE,
+		Arrival:  arrival,
+		Rate:     500,
+		Duration: 10,
+		Cohorts: []Cohort{
+			{
+				Name: "browsers", Class: "interactive", Weight: 3, Users: 64,
+				Graphs: []string{"web", "social", "roads", "cite"}, GraphSkew: 1.1,
+				Apps: []string{"bfs", "sssp"}, AppSkew: 0.8,
+				Threads: 8, DeadlineMS: 250,
+			},
+			{
+				Name: "analysts", Class: "batch", Weight: 1, Users: 8,
+				Graphs: []string{"web", "social"}, GraphSkew: 0,
+				Apps: []string{"pr", "cc"}, AppSkew: 0,
+				Threads: 32,
+			},
+		},
+	}
+	switch arrival {
+	case ArrivalDiurnal:
+		s.Periods = []Period{{Seconds: 4, Amplitude: 0.8}, {Seconds: 1, Amplitude: 0.3}}
+	case ArrivalBursty:
+		s.OnSeconds, s.OffSeconds, s.BurstFactor = 0.5, 1.5, 4
+	}
+	return s
+}
+
+// TestTraceByteIdenticalAcrossGOMAXPROCS locks the determinism contract:
+// the same spec marshals to the same bytes no matter how many Ps the
+// runtime schedules over, for every arrival kind.
+func TestTraceByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, kind := range []ArrivalKind{ArrivalSteady, ArrivalDiurnal, ArrivalBursty} {
+		var want []byte
+		for _, procs := range []int{1, 3, 8} {
+			runtime.GOMAXPROCS(procs)
+			tr, err := testSpec(kind).Generate()
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			data, err := tr.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = data
+				if len(tr.Events) == 0 {
+					t.Fatalf("%s: empty trace", kind)
+				}
+				continue
+			}
+			if !bytes.Equal(data, want) {
+				t.Errorf("%s: trace bytes differ at GOMAXPROCS=%d", kind, procs)
+			}
+		}
+	}
+}
+
+// TestTraceArrivalsStrictlyIncreasing checks arrival monotonicity and that
+// stamps stay inside the virtual duration.
+func TestTraceArrivalsStrictlyIncreasing(t *testing.T) {
+	for _, kind := range []ArrivalKind{ArrivalSteady, ArrivalDiurnal, ArrivalBursty} {
+		tr, err := testSpec(kind).Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		prev := int64(-1)
+		for _, ev := range tr.Events {
+			if ev.ArrivalUS <= prev {
+				t.Fatalf("%s: event %d arrival %dus <= previous %dus", kind, ev.Seq, ev.ArrivalUS, prev)
+			}
+			prev = ev.ArrivalUS
+		}
+		limit := int64(tr.Spec.Duration*1e6) + int64(len(tr.Events)) // +1us tie bumps
+		if prev > limit {
+			t.Errorf("%s: last arrival %dus beyond duration %dus", kind, prev, limit)
+		}
+		for i, ev := range tr.Events {
+			if ev.Seq != i {
+				t.Fatalf("%s: event %d has seq %d", kind, i, ev.Seq)
+			}
+		}
+	}
+}
+
+// TestTraceMeanRateRoughlyMatchesSpec sanity-checks the thinning: a steady
+// process must offer close to Rate events per virtual second.
+func TestTraceMeanRateRoughlyMatchesSpec(t *testing.T) {
+	spec := testSpec(ArrivalSteady)
+	tr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(tr.Events)) / spec.Duration
+	if got < spec.Rate*0.9 || got > spec.Rate*1.1 {
+		t.Errorf("steady offered rate = %.1f/s, want within 10%% of %.1f/s", got, spec.Rate)
+	}
+}
+
+// TestTraceCohortPopularitySkew checks the Zipf shaping within tolerance:
+// cohort weights split the traffic, and within the skewed cohort the
+// rank-0 graph dominates with observed shares close to the analytic Zipf
+// distribution.
+func TestTraceCohortPopularitySkew(t *testing.T) {
+	spec := testSpec(ArrivalSteady)
+	spec.Duration = 40 // ~20k events, enough for 5% tolerances
+	tr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	graphs := map[string]int{}
+	interactive := 0
+	for _, ev := range tr.Events {
+		classes[ev.Class]++
+		if ev.Cohort == "browsers" {
+			interactive++
+			graphs[ev.Graph]++
+		}
+	}
+	// Cohort weights 3:1.
+	share := float64(classes["interactive"]) / float64(len(tr.Events))
+	if share < 0.70 || share > 0.80 {
+		t.Errorf("interactive share = %.3f, want ~0.75", share)
+	}
+	// Analytic Zipf shares for skew 1.1 over 4 ranks.
+	skew := spec.Cohorts[0].GraphSkew
+	total := 0.0
+	expect := make([]float64, 4)
+	for k := range expect {
+		expect[k] = 1 / math.Pow(float64(k+1), skew)
+		total += expect[k]
+	}
+	for rank, name := range spec.Cohorts[0].Graphs {
+		want := expect[rank] / total
+		got := float64(graphs[name]) / float64(interactive)
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("graph %q (rank %d): share %.3f, want %.3f +/- 0.05", name, rank, got, want)
+		}
+	}
+	// Skew must actually order the ranks.
+	if graphs[spec.Cohorts[0].Graphs[0]] <= graphs[spec.Cohorts[0].Graphs[3]] {
+		t.Errorf("rank-0 graph (%d events) not more popular than rank-3 (%d)",
+			graphs[spec.Cohorts[0].Graphs[0]], graphs[spec.Cohorts[0].Graphs[3]])
+	}
+}
+
+// TestTraceRoundTrip locks serialize -> parse -> serialize byte identity.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := testSpec(ArrivalDiurnal).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Error("parsed trace differs from generated trace")
+	}
+	again, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-marshaled trace bytes differ")
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"version": 99, "events": []}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+// TestSpecValidation walks the rejection table.
+func TestSpecValidation(t *testing.T) {
+	ok := testSpec(ArrivalSteady)
+	mutations := map[string]func(*Spec){
+		"zero rate":          func(s *Spec) { s.Rate = 0 },
+		"zero duration":      func(s *Spec) { s.Duration = 0 },
+		"unknown arrival":    func(s *Spec) { s.Arrival = "sometimes" },
+		"no cohorts":         func(s *Spec) { s.Cohorts = nil },
+		"unnamed cohort":     func(s *Spec) { s.Cohorts[0].Name = "" },
+		"classless cohort":   func(s *Spec) { s.Cohorts[0].Class = "" },
+		"zero weight":        func(s *Spec) { s.Cohorts[0].Weight = 0 },
+		"no users":           func(s *Spec) { s.Cohorts[0].Users = 0 },
+		"no graphs":          func(s *Spec) { s.Cohorts[0].Graphs = nil },
+		"no apps":            func(s *Spec) { s.Cohorts[0].Apps = nil },
+		"negative skew":      func(s *Spec) { s.Cohorts[0].GraphSkew = -1 },
+		"negative deadline":  func(s *Spec) { s.Cohorts[0].DeadlineMS = -5 },
+		"diurnal, no period": func(s *Spec) { s.Arrival = ArrivalDiurnal },
+		"bad period": func(s *Spec) {
+			s.Arrival = ArrivalDiurnal
+			s.Periods = []Period{{Seconds: -1, Amplitude: 0.5}}
+		},
+		"bursty, no phases": func(s *Spec) { s.Arrival = ArrivalBursty },
+		"burst factor < 1": func(s *Spec) {
+			s.Arrival = ArrivalBursty
+			s.OnSeconds, s.OffSeconds, s.BurstFactor = 1, 1, 0.5
+		},
+	}
+	for name, mutate := range mutations {
+		spec := ok
+		spec.Cohorts = append([]Cohort(nil), ok.Cohorts...)
+		mutate(&spec)
+		if _, err := spec.Generate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ok.Generate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestBurstyPhasesShapeArrivals checks that on-phases are denser than
+// off-phases by roughly the configured factor squared.
+func TestBurstyPhasesShapeArrivals(t *testing.T) {
+	spec := testSpec(ArrivalBursty)
+	tr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on, off int
+	cycle := spec.OnSeconds + spec.OffSeconds
+	for _, ev := range tr.Events {
+		if math.Mod(float64(ev.ArrivalUS)/1e6, cycle) < spec.OnSeconds {
+			on++
+		} else {
+			off++
+		}
+	}
+	// Total on/off wall shares over the whole duration (it spans whole
+	// cycles: 10s over a 2s cycle).
+	cycles := spec.Duration / cycle
+	onRate := float64(on) / (cycles * spec.OnSeconds)
+	offRate := float64(off) / (cycles * spec.OffSeconds)
+	if onRate < offRate*4 {
+		t.Errorf("on-phase rate %.1f/s not clearly denser than off-phase %.1f/s (factor %v)",
+			onRate, offRate, spec.BurstFactor)
+	}
+}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stepExec is an exec whose completions the test releases one at a time,
+// recording the class order in which jobs reached execution.
+type stepExec struct {
+	mu      sync.Mutex
+	order   []string
+	entered chan *Job
+	release chan struct{}
+}
+
+func newStepExec() *stepExec {
+	return &stepExec{entered: make(chan *Job, 1024), release: make(chan struct{}, 1024)}
+}
+
+func (e *stepExec) exec(j *Job) ([]byte, bool, error) {
+	e.mu.Lock()
+	e.order = append(e.order, j.Class)
+	e.mu.Unlock()
+	e.entered <- j
+	<-e.release
+	return []byte("{}"), false, nil
+}
+
+func (e *stepExec) classOrder() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.order...)
+}
+
+// TestSchedulerWeightedDrainBoundsStarvation floods the interactive class
+// while batch jobs queue behind it, drains with a single worker, and
+// checks the documented weight bound: with weights 4:1 and both classes
+// backlogged, every window of 5 consecutive executions contains a batch
+// job — a sustained interactive flood cannot starve batch.
+func TestSchedulerWeightedDrainBoundsStarvation(t *testing.T) {
+	e := newStepExec()
+	sched := NewClassScheduler(1, []ClassConfig{
+		{Name: ClassInteractive, Weight: 4, QueueCap: 256},
+		{Name: ClassBatch, Weight: 1, QueueCap: 256},
+	}, e.exec)
+	defer sched.Close()
+
+	// One interactive job occupies the worker so everything submitted
+	// afterwards queues behind it with both classes backlogged.
+	if _, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive}); err != nil {
+		t.Fatal(err)
+	}
+	first := <-e.entered
+
+	const interactive, batch = 40, 6
+	var batchJobs []*Job
+	for i := 0; i < interactive; i++ {
+		if _, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < batch; i++ {
+		j, err := sched.Submit(JobRequest{App: "pr", Class: ClassBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchJobs = append(batchJobs, j)
+	}
+
+	// Step the single worker through the backlog one execution at a time.
+	e.release <- struct{}{} // release the occupying job
+	total := interactive + batch
+	for i := 0; i < total; i++ {
+		select {
+		case <-e.entered:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d executions started", i, total)
+		}
+		e.release <- struct{}{}
+	}
+	<-first.Done()
+	for _, j := range batchJobs {
+		select {
+		case <-j.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatal("batch job starved")
+		}
+	}
+
+	order := e.classOrder()[1:] // drop the occupying job
+	// Weight bound: while batch stays backlogged, any 5 consecutive
+	// executions include >=1 batch job.
+	lastBatch := -1
+	batchSeen := 0
+	for i, class := range order {
+		if class == ClassBatch {
+			if batchSeen < batch && i-lastBatch > 5 {
+				t.Errorf("batch waited %d consecutive interactive executions (positions %d..%d), bound is 4",
+					i-lastBatch-1, lastBatch+1, i)
+			}
+			lastBatch = i
+			batchSeen++
+		}
+	}
+	if batchSeen != batch {
+		t.Fatalf("executed %d batch jobs, want %d", batchSeen, batch)
+	}
+
+	st := sched.Stats()
+	if st.Classes[0].Class != ClassInteractive || st.Classes[1].Class != ClassBatch {
+		t.Fatalf("class order in stats: %+v", st.Classes)
+	}
+	if got := st.Classes[1].Completed; got != batch {
+		t.Errorf("batch completed = %d, want %d", got, batch)
+	}
+	if st.Classes[0].Admitted != interactive+1 || st.Classes[1].Admitted != batch {
+		t.Errorf("admitted = %d/%d", st.Classes[0].Admitted, st.Classes[1].Admitted)
+	}
+	if st.Classes[1].QueueWait.Count != batch || st.Classes[1].Service.Count != batch {
+		t.Errorf("batch histograms: wait=%d service=%d, want %d", st.Classes[1].QueueWait.Count, st.Classes[1].Service.Count, batch)
+	}
+}
+
+// TestSchedulerDeadlineShedNeverExecutes proves doomed work is dropped at
+// dequeue: a job whose deadline expires while the worker is busy must land
+// in the terminal shed state without ever entering exec, and the per-class
+// deadline_shed counter must record it.
+func TestSchedulerDeadlineShedNeverExecutes(t *testing.T) {
+	var executed atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	sched := NewClassScheduler(1, []ClassConfig{{Name: ClassInteractive, Weight: 1, QueueCap: 16}}, func(j *Job) ([]byte, bool, error) {
+		executed.Add(1)
+		started <- struct{}{}
+		<-release
+		return []byte("{}"), false, nil
+	})
+	defer sched.Close()
+
+	blocker, err := sched.Submit(JobRequest{App: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker now blocked inside the blocker job
+
+	doomed, err := sched.Submit(JobRequest{App: "bfs", DeadlineMS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := sched.Submit(JobRequest{App: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let the doomed job's deadline pass while queued
+	release <- struct{}{}             // unblock: worker dequeues doomed (sheds) then alive (runs)
+	<-started
+	release <- struct{}{}
+
+	select {
+	case <-doomed.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("shed job did not reach a terminal state")
+	}
+	<-blocker.Done()
+	<-alive.Done()
+
+	st := doomed.Status()
+	if st.State != JobShed || st.ShedReason != ShedDeadline {
+		t.Errorf("doomed job state = %s reason=%q, want shed/deadline", st.State, st.ShedReason)
+	}
+	if st.QueueSeconds <= 0 || st.RunSeconds != 0 {
+		t.Errorf("shed job accounting: queue=%.4fs run=%.4fs, want queue>0 run=0", st.QueueSeconds, st.RunSeconds)
+	}
+	if _, _, errMsg, ok := doomed.Result(); !ok || errMsg == "" {
+		t.Errorf("shed job result: ok=%v errMsg=%q, want terminal with message", ok, errMsg)
+	}
+	if n := executed.Load(); n != 2 {
+		t.Errorf("exec ran %d times, want 2 (blocker + alive; never the doomed job)", n)
+	}
+	stats := sched.Stats()
+	if stats.Classes[0].DeadlineShed != 1 || stats.Shed != 1 {
+		t.Errorf("deadline shed counters: class=%d total=%d, want 1/1", stats.Classes[0].DeadlineShed, stats.Shed)
+	}
+	if stats.Completed != 2 {
+		t.Errorf("completed = %d, want 2", stats.Completed)
+	}
+}
+
+// TestSchedulerDeadlineOrderingWithinClass checks EDF within a class: with
+// the worker busy, a later-submitted tighter-deadline job runs before an
+// earlier loose one, and undeadlined jobs go last in submission order.
+func TestSchedulerDeadlineOrderingWithinClass(t *testing.T) {
+	e := newStepExec()
+	sched := NewClassScheduler(1, []ClassConfig{{Name: ClassInteractive, Weight: 1, QueueCap: 16}}, e.exec)
+	defer sched.Close()
+
+	if _, err := sched.Submit(JobRequest{App: "blocker"}); err != nil {
+		t.Fatal(err)
+	}
+	<-e.entered
+	var jobs []*Job
+	for _, req := range []JobRequest{
+		{App: "noDeadlineFirst"},
+		{App: "loose", DeadlineMS: 60_000},
+		{App: "tight", DeadlineMS: 10_000},
+		{App: "noDeadlineSecond"},
+	} {
+		j, err := sched.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	var got []string
+	e.release <- struct{}{}
+	for i := 0; i < len(jobs); i++ {
+		j := <-e.entered
+		got = append(got, j.Req.App)
+		e.release <- struct{}{}
+	}
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	want := []string{"tight", "loose", "noDeadlineFirst", "noDeadlineSecond"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerCloseShedsQueuedJobs locks the close path: queued jobs land
+// in the terminal shed state (releasing any ?wait=1 callers), the running
+// job finishes normally, and the accounting — closed_shed counters,
+// QueueSeconds without RunSeconds — holds up.
+func TestSchedulerCloseShedsQueuedJobs(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	sched := NewClassScheduler(1, []ClassConfig{
+		{Name: ClassInteractive, Weight: 4, QueueCap: 16},
+		{Name: ClassBatch, Weight: 1, QueueCap: 16},
+	}, func(j *Job) ([]byte, bool, error) {
+		started <- struct{}{}
+		<-release
+		return []byte("{}"), false, nil
+	})
+
+	running, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queuedI, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedB, err := sched.Submit(JobRequest{App: "pr", Class: ClassBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A waiter on a queued job, exactly like an HTTP ?wait=1 handler.
+	waiterDone := make(chan JobState, 1)
+	go func() {
+		<-queuedI.Done()
+		waiterDone <- queuedI.Status().State
+	}()
+
+	closed := make(chan struct{})
+	go func() {
+		sched.Close()
+		close(closed)
+	}()
+	// Close sheds the queued jobs immediately, before the running job
+	// finishes; the waiter must be released now.
+	select {
+	case state := <-waiterDone:
+		if state != JobShed {
+			t.Errorf("waiter observed state %s, want shed", state)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("?wait=1-style waiter hung across Close")
+	}
+	release <- struct{}{}
+	<-closed
+	<-running.Done()
+
+	if st := running.Status(); st.State != JobDone || st.RunSeconds <= 0 {
+		t.Errorf("running job after close: %+v", st)
+	}
+	for _, j := range []*Job{queuedI, queuedB} {
+		st := j.Status()
+		if st.State != JobShed || st.ShedReason != ShedClosed {
+			t.Errorf("queued job %s: state=%s reason=%q, want shed/closed", j.ID, st.State, st.ShedReason)
+		}
+		if st.QueueSeconds <= 0 || st.RunSeconds != 0 {
+			t.Errorf("queued job %s accounting: queue=%.4f run=%.4f", j.ID, st.QueueSeconds, st.RunSeconds)
+		}
+	}
+
+	st := sched.Stats()
+	if st.Classes[0].ClosedShed != 1 || st.Classes[1].ClosedShed != 1 || st.Shed != 2 {
+		t.Errorf("closed shed counters: %d/%d total %d, want 1/1/2", st.Classes[0].ClosedShed, st.Classes[1].ClosedShed, st.Shed)
+	}
+	if st.Completed != 1 || st.Queued != 0 {
+		t.Errorf("completed=%d queued=%d, want 1/0", st.Completed, st.Queued)
+	}
+	if st.MaxRunning != 1 {
+		t.Errorf("MaxRunning = %d, want 1 (shed jobs never run)", st.MaxRunning)
+	}
+	// Queue-wait histograms saw every admitted job (run or shed); service
+	// only the one that ran.
+	waits := st.Classes[0].QueueWait.Count + st.Classes[1].QueueWait.Count
+	if waits != 3 {
+		t.Errorf("queue-wait observations = %d, want 3", waits)
+	}
+	if svc := st.Classes[0].Service.Count + st.Classes[1].Service.Count; svc != 1 {
+		t.Errorf("service observations = %d, want 1", svc)
+	}
+}
+
+// TestSchedulerRacingSubmitAndClose hammers Submit from many goroutines
+// while Close races them (run under -race in CI): every accepted job must
+// reach a terminal state, and submissions after close must fail cleanly.
+func TestSchedulerRacingSubmitAndClose(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		sched := NewClassScheduler(2, []ClassConfig{
+			{Name: ClassInteractive, Weight: 4, QueueCap: 64},
+			{Name: ClassBatch, Weight: 1, QueueCap: 64},
+		}, func(j *Job) ([]byte, bool, error) {
+			return []byte("{}"), false, nil
+		})
+
+		const submitters = 4
+		var wg sync.WaitGroup
+		jobs := make(chan *Job, submitters*64)
+		start := make(chan struct{})
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				class := ClassInteractive
+				if g%2 == 1 {
+					class = ClassBatch
+				}
+				for i := 0; i < 50; i++ {
+					j, err := sched.Submit(JobRequest{App: "bfs", Class: class, DeadlineMS: int64(i % 3 * 10)})
+					if err != nil {
+						if !errors.Is(err, errSchedulerClosed) && !errors.Is(err, ErrQueueFull) {
+							t.Errorf("submit: %v", err)
+						}
+						continue
+					}
+					jobs <- j
+				}
+			}(g)
+		}
+		close(start)
+		sched.Close() // races the submitters
+		wg.Wait()
+		close(jobs)
+
+		for j := range jobs {
+			select {
+			case <-j.Done():
+			case <-time.After(10 * time.Second):
+				t.Fatalf("job %s never reached a terminal state", j.ID)
+			}
+			if st := j.Status(); st.State != JobDone && st.State != JobShed && st.State != JobFailed {
+				t.Errorf("job %s terminal state = %s", j.ID, st.State)
+			}
+		}
+		if _, err := sched.Submit(JobRequest{App: "bfs"}); !errors.Is(err, errSchedulerClosed) {
+			t.Errorf("submit after close = %v", err)
+		}
+	}
+}
+
+// TestSchedulerUnknownClassRejected checks class admission validation.
+func TestSchedulerUnknownClassRejected(t *testing.T) {
+	sched := NewClassScheduler(1, nil, func(j *Job) ([]byte, bool, error) {
+		return []byte("{}"), false, nil
+	})
+	defer sched.Close()
+	if _, err := sched.Submit(JobRequest{App: "bfs", Class: "premium"}); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("unknown class error = %v", err)
+	}
+	if _, err := sched.Submit(JobRequest{App: "bfs", DeadlineMS: -1}); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	// Default classes: "" resolves to interactive.
+	j, err := sched.Submit(JobRequest{App: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.Class != ClassInteractive {
+		t.Errorf("default class = %q, want %q", j.Class, ClassInteractive)
+	}
+}
+
+// TestSchedulerPerClassQueueCaps checks that one class filling up never
+// blocks another class's admissions.
+func TestSchedulerPerClassQueueCaps(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	sched := NewClassScheduler(1, []ClassConfig{
+		{Name: ClassInteractive, Weight: 4, QueueCap: 1},
+		{Name: ClassBatch, Weight: 1, QueueCap: 2},
+	}, func(j *Job) ([]byte, bool, error) {
+		started <- struct{}{}
+		<-release
+		return []byte("{}"), false, nil
+	})
+	defer func() {
+		close(release)
+		sched.Close()
+	}()
+
+	if _, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queues are now pure backlog
+	if _, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sched.Submit(JobRequest{App: "bfs", Class: ClassInteractive})
+	var full *QueueFullError
+	if !errors.As(err, &full) || full.Class != ClassInteractive {
+		t.Fatalf("interactive overflow = %v", err)
+	}
+	// Batch still admits despite interactive being full.
+	for i := 0; i < 2; i++ {
+		if _, err := sched.Submit(JobRequest{App: "pr", Class: ClassBatch}); err != nil {
+			t.Fatalf("batch submit %d: %v", i, err)
+		}
+	}
+	if _, err := sched.Submit(JobRequest{App: "pr", Class: ClassBatch}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("batch overflow = %v", err)
+	}
+	st := sched.Stats()
+	if st.Classes[0].Rejected != 1 || st.Classes[1].Rejected != 1 || st.Rejected != 2 {
+		t.Errorf("rejected counters: %d/%d total %d", st.Classes[0].Rejected, st.Classes[1].Rejected, st.Rejected)
+	}
+}
+
+// TestParseClasses covers the -classes flag grammar.
+func TestParseClasses(t *testing.T) {
+	got, err := ParseClasses("interactive:4:256, batch:1:512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ClassConfig{
+		{Name: "interactive", Weight: 4, QueueCap: 256},
+		{Name: "batch", Weight: 1, QueueCap: 512},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ParseClasses = %+v", got)
+	}
+	if got, err := ParseClasses("solo"); err != nil || len(got) != 1 || got[0].Name != "solo" || got[0].Weight != 0 {
+		t.Errorf("bare name = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", ",", "a:b", "a:0", "a:1:x", "a:1:0", ":4", "a:1:2:3", "dup,dup"} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Errorf("ParseClasses(%q) accepted", bad)
+		}
+	}
+}

@@ -28,9 +28,13 @@ type Config struct {
 	Machine memsim.MachineConfig
 	// Workers bounds concurrent kernel executions (0 = DefaultWorkers).
 	Workers int
-	// QueueCap bounds queued jobs; submissions past it get 429
-	// (0 = DefaultQueueCap).
+	// QueueCap bounds queued jobs per class; submissions past it get 429
+	// (0 = the class defaults).
 	QueueCap int
+	// Classes configures the admission classes (per-class bounded queues,
+	// drain weights, deadline shedding); nil picks DefaultClasses. When
+	// QueueCap is also set it overrides every class's queue cap.
+	Classes []ClassConfig
 	// CacheEntries bounds the result cache (0 = DefaultCacheEntries).
 	CacheEntries int
 	// MaxJobs bounds retained job records (0 = DefaultMaxJobs); the
@@ -69,6 +73,16 @@ type JobRequest struct {
 	// Params overrides individual kernel parameters; unset fields take
 	// the deterministic per-graph defaults (frameworks.DefaultParams).
 	Params *ParamOverrides `json:"params,omitempty"`
+	// Class selects the admission class ("" = the first configured class,
+	// interactive by default). Each class has its own bounded queue and
+	// drain weight; the class never affects the kernel execution or its
+	// cache key, only scheduling.
+	Class string `json:"class,omitempty"`
+	// DeadlineMS is a relative deadline in milliseconds from submission
+	// (0 = none). The class queue drains deadline-first, and a job whose
+	// deadline expires while it queues is shed (terminal "shed" state,
+	// 503 on the result endpoints) instead of executed.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// NoCache bypasses the result cache (the run still executes
 	// deterministically; used to measure cold-path behavior).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -153,7 +167,16 @@ func New(cfg Config) *Server {
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
 	}
-	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.runJob)
+	classes := append([]ClassConfig(nil), cfg.Classes...)
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	if cfg.QueueCap > 0 {
+		for i := range classes {
+			classes[i].QueueCap = cfg.QueueCap
+		}
+	}
+	s.sched = NewClassScheduler(cfg.Workers, classes, s.runJob)
 	return s
 }
 
@@ -211,6 +234,12 @@ func (s *Server) validate(req JobRequest) (jobPlan, error) {
 		return plan, fmt.Errorf("unknown framework %q", fw)
 	}
 	plan.profile = p
+	if !s.sched.HasClass(req.Class) {
+		return plan, fmt.Errorf("unknown class %q (have %s)", req.Class, strings.Join(s.sched.ClassNames(), ", "))
+	}
+	if req.DeadlineMS < 0 {
+		return plan, fmt.Errorf("negative deadline %dms", req.DeadlineMS)
+	}
 	backend, err := core.ParseBackend(req.Backend)
 	if err != nil {
 		return plan, err
@@ -425,6 +454,17 @@ func (s *Server) Stats() Stats {
 
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// shedBody is the structured load-shedding error: every shed response
+// (429 queue-full, 503 deadline/close shed) keeps the uniform "error"
+// field and adds the class-level detail clients need to back off.
+type shedBody struct {
+	Error      string `json:"error"`
+	Class      string `json:"class,omitempty"`
+	Queued     int    `json:"queued,omitempty"`
+	QueueCap   int    `json:"queue_cap,omitempty"`
+	ShedReason string `json:"shed_reason,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -685,11 +725,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(req)
 	if err != nil {
-		code := http.StatusBadRequest
-		if err == ErrQueueFull {
-			code = http.StatusTooManyRequests
+		var full *QueueFullError
+		if errors.As(err, &full) {
+			// Structured overload body: which class shed the job and how
+			// full its queue was, so clients can back off per class.
+			writeJSON(w, http.StatusTooManyRequests, shedBody{
+				Error:    err.Error(),
+				Class:    full.Class,
+				Queued:   full.Queued,
+				QueueCap: full.QueueCap,
+			})
+			return
 		}
-		writeError(w, code, "%v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	wait := false
@@ -718,6 +766,17 @@ func (s *Server) writeResult(w http.ResponseWriter, job *Job) {
 	data, cacheHit, errMsg, ok := job.Result()
 	if !ok {
 		writeError(w, http.StatusConflict, "job %s not finished", job.ID)
+		return
+	}
+	if st := job.Status(); st.State == JobShed {
+		// The job was admitted but never ran: deadline expired in the
+		// queue, or the server shut down. 503 tells the caller the system
+		// shed it under load, as opposed to a 500 execution failure.
+		writeJSON(w, http.StatusServiceUnavailable, shedBody{
+			Error:      fmt.Sprintf("job %s shed: %s", job.ID, errMsg),
+			Class:      st.Class,
+			ShedReason: st.ShedReason,
+		})
 		return
 	}
 	if errMsg != "" {

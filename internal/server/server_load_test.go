@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPClassesAndDeadlines swaps in a blocking class scheduler to pin
+// the admission-control HTTP surface deterministically: unknown classes and
+// negative deadlines 400, per-class queue overflow 429 with the structured
+// shed body, deadline-shed jobs 503 with shed_reason — and a ?wait=1
+// caller whose job is shed gets that 503 instead of hanging.
+func TestHTTPClassesAndDeadlines(t *testing.T) {
+	srv := newTestServer(t, 2, 16)
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	srv.sched.Close()
+	srv.sched = NewClassScheduler(1, []ClassConfig{
+		{Name: ClassInteractive, Weight: 4, QueueCap: 1},
+		{Name: ClassBatch, Weight: 1, QueueCap: 4},
+	}, func(j *Job) ([]byte, bool, error) {
+		started <- struct{}{}
+		<-release
+		return []byte("{}"), false, nil
+	})
+	defer func() {
+		close(release)
+		srv.sched.Close()
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Validation 400s for the new request fields.
+	for _, tc := range []struct {
+		name    string
+		req     JobRequest
+		wantMsg string
+	}{
+		{"unknown class", JobRequest{Graph: "web", App: "bfs", Class: "premium"}, "unknown class"},
+		{"negative deadline", JobRequest{Graph: "web", App: "bfs", DeadlineMS: -5}, "negative deadline"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error, tc.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, eb.Error, tc.wantMsg)
+		}
+	}
+
+	// Block the only worker, then submit a doomed batch job via ?wait=1:
+	// its deadline expires while it queues, and the waiter must receive a
+	// structured 503, not hang.
+	if resp, body := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Graph: "web", App: "bfs", Class: ClassInteractive}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit: %d: %s", resp.StatusCode, body)
+	}
+	<-started
+
+	type waitResp struct {
+		code int
+		body []byte
+		err  error
+	}
+	waited := make(chan waitResp, 1)
+	go func() {
+		payload, err := json.Marshal(JobRequest{Graph: "web", App: "pr", Class: ClassBatch, DeadlineMS: 20})
+		if err != nil {
+			waited <- waitResp{err: err}
+			return
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			waited <- waitResp{err: err}
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		waited <- waitResp{code: resp.StatusCode, body: b}
+	}()
+	time.Sleep(60 * time.Millisecond) // let the 20ms deadline pass while queued
+	release <- struct{}{}             // finish the blocker; the worker sheds the doomed job next
+
+	var wr waitResp
+	select {
+	case wr = <-waited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("?wait=1 caller hung on a shed job")
+	}
+	if wr.err != nil {
+		t.Fatal(wr.err)
+	}
+	if wr.code != http.StatusServiceUnavailable {
+		t.Fatalf("shed wait response = %d, want 503: %s", wr.code, wr.body)
+	}
+	var sb shedBody
+	if err := json.Unmarshal(wr.body, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Class != ClassBatch || sb.ShedReason != ShedDeadline || !strings.Contains(sb.Error, "shed") {
+		t.Errorf("shed body = %+v", sb)
+	}
+
+	// The shed job's status and result endpoints agree.
+	var statuses []JobStatus
+	if r := getJSON(t, ts.URL+"/v1/jobs", &statuses); r.StatusCode != http.StatusOK {
+		t.Fatalf("job list: %d", r.StatusCode)
+	}
+	var shedID string
+	for _, st := range statuses {
+		if st.State == JobShed {
+			shedID = st.ID
+			if st.ShedReason != ShedDeadline || st.Class != ClassBatch {
+				t.Errorf("shed status = %+v", st)
+			}
+			if st.QueueSeconds <= 0 || st.RunSeconds != 0 {
+				t.Errorf("shed accounting: queue=%.4f run=%.4f", st.QueueSeconds, st.RunSeconds)
+			}
+		}
+	}
+	if shedID == "" {
+		t.Fatal("no shed job in the listing")
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/" + shedID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("shed result endpoint = %d, want 503: %s", r.StatusCode, rb)
+	}
+
+	// Per-class overflow: block the worker again, fill interactive's
+	// 1-deep queue, and check the structured 429 names the class — while
+	// batch still admits.
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Graph: "web", App: "bfs", Class: ClassInteractive}); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("second blocker rejected")
+	}
+	<-started
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Graph: "web", App: "bfs", Class: ClassInteractive}); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("queueable interactive job rejected")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Graph: "web", App: "bfs", Class: ClassInteractive})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("interactive overflow = %d, want 429: %s", resp.StatusCode, body)
+	}
+	sb = shedBody{}
+	if err := json.Unmarshal(body, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Class != ClassInteractive || sb.Queued != 1 || sb.QueueCap != 1 || sb.Error == "" {
+		t.Errorf("429 body = %+v", sb)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Graph: "web", App: "pr", Class: ClassBatch}); resp.StatusCode != http.StatusAccepted {
+		t.Error("batch submit rejected while interactive full")
+	}
+
+	// /v1/stats reports the per-class detail.
+	var st Stats
+	if r := getJSON(t, ts.URL+"/v1/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", r.StatusCode)
+	}
+	if len(st.Scheduler.Classes) != 2 {
+		t.Fatalf("stats classes = %+v", st.Scheduler.Classes)
+	}
+	ic, bc := st.Scheduler.Classes[0], st.Scheduler.Classes[1]
+	if ic.Class != ClassInteractive || ic.Weight != 4 || ic.QueueCap != 1 || ic.Rejected != 1 {
+		t.Errorf("interactive class stats = %+v", ic)
+	}
+	if bc.Class != ClassBatch || bc.DeadlineShed != 1 || bc.QueueWait.Count < 1 {
+		t.Errorf("batch class stats = %+v", bc)
+	}
+	if st.Scheduler.Shed != 1 || st.Scheduler.Rejected != 1 {
+		t.Errorf("aggregate shed=%d rejected=%d, want 1/1", st.Scheduler.Shed, st.Scheduler.Rejected)
+	}
+}
+
+// TestHTTPClassServingEndToEnd runs real kernels through the default
+// classes: the class rides the job status, batch and interactive both
+// execute, and the per-class service histograms fill in.
+func TestHTTPClassServingEndToEnd(t *testing.T) {
+	srv := newTestServer(t, 2, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Default class is interactive; an explicit batch job lands in batch.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs?wait=1", JobRequest{Graph: "web", App: "bfs", DeadlineMS: 60_000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive job: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/jobs?wait=1", JobRequest{Graph: "web", App: "pr", Class: ClassBatch})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch job: %d: %s", resp.StatusCode, body)
+	}
+
+	var statuses []JobStatus
+	if r := getJSON(t, ts.URL+"/v1/jobs", &statuses); r.StatusCode != http.StatusOK || len(statuses) != 2 {
+		t.Fatalf("job list: %d, %d jobs", r.StatusCode, len(statuses))
+	}
+	if statuses[0].Class != ClassInteractive || statuses[1].Class != ClassBatch {
+		t.Errorf("job classes = %q, %q", statuses[0].Class, statuses[1].Class)
+	}
+
+	var st Stats
+	if r := getJSON(t, ts.URL+"/v1/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", r.StatusCode)
+	}
+	for i, want := range []struct {
+		class     string
+		completed uint64
+	}{{ClassInteractive, 1}, {ClassBatch, 1}} {
+		cs := st.Scheduler.Classes[i]
+		if cs.Class != want.class || cs.Completed != want.completed {
+			t.Errorf("class %d = %+v, want %s completed=%d", i, cs, want.class, want.completed)
+		}
+		if cs.QueueWait.Count != 1 || cs.Service.Count != 1 || cs.Service.MaxSeconds <= 0 {
+			t.Errorf("class %s histograms: wait=%d service=%d max=%.6f",
+				cs.Class, cs.QueueWait.Count, cs.Service.Count, cs.Service.MaxSeconds)
+		}
+	}
+}

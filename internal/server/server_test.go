@@ -15,11 +15,11 @@ import (
 	"testing"
 
 	"pmemgraph/internal/analytics"
-	"pmemgraph/internal/bench"
 	"pmemgraph/internal/engine"
 	"pmemgraph/internal/frameworks"
 	"pmemgraph/internal/gen"
 	"pmemgraph/internal/graph"
+	"pmemgraph/internal/loadgen"
 	"pmemgraph/internal/memsim"
 )
 
@@ -47,7 +47,7 @@ func newTestServer(t *testing.T, workers, queueCap int) *Server {
 // directResult runs spec outside the server — a fresh machine over the
 // same sealed graph, exactly like a standalone harness — and returns the
 // canonical result bytes the server must match byte-for-byte.
-func directResult(t *testing.T, srv *Server, spec bench.JobSpec) []byte {
+func directResult(t *testing.T, srv *Server, spec loadgen.JobSpec) []byte {
 	t.Helper()
 	p, ok := frameworks.ByName(spec.Framework)
 	if !ok {
@@ -120,7 +120,7 @@ func TestConcurrentServingByteIdentical(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	specs, err := bench.Workload([]string{"web", "erdos", "kron"}, 42, jobs, 8)
+	specs, err := loadgen.Workload([]string{"web", "erdos", "kron"}, 42, jobs, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestConcurrentServingByteIdentical(t *testing.T) {
 	}
 
 	// Direct expected bytes per unique spec, computed without the server.
-	expected := make(map[bench.JobSpec][]byte)
+	expected := make(map[loadgen.JobSpec][]byte)
 	for _, spec := range specs {
 		if _, ok := expected[spec]; !ok {
 			expected[spec] = directResult(t, srv, spec)
@@ -145,7 +145,7 @@ func TestConcurrentServingByteIdentical(t *testing.T) {
 		)
 		for i, spec := range specs {
 			wg.Add(1)
-			go func(i int, spec bench.JobSpec) {
+			go func(i int, spec loadgen.JobSpec) {
 				defer wg.Done()
 				req := JobRequest{Graph: spec.Graph, App: spec.App, Framework: spec.Framework, Threads: spec.Threads}
 				resp, body := postJSON(t, ts.URL+"/v1/jobs?wait=1", req)

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Histogram is a log-linear latency histogram: values (seconds) land in
+// power-of-two microsecond buckets, so the whole nanosecond-to-hours range
+// fits in 64 counters with bounded (2x, reduced to ~25% by in-bucket
+// interpolation) relative quantile error. It is the serving layer's
+// queue-wait and service-time accumulator: Observe is O(1) with no
+// allocation, and the zero value is ready to use. Not goroutine-safe —
+// callers (the scheduler) observe under their own lock.
+type Histogram struct {
+	counts [65]uint64
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// bucket maps a duration in seconds to its power-of-two microsecond bucket.
+func bucket(seconds float64) int {
+	us := int64(seconds * 1e6)
+	if us < 0 {
+		us = 0
+	}
+	return bits.Len64(uint64(us)) // 0 for <1us, else floor(log2(us))+1
+}
+
+// Observe folds one duration (in seconds; negatives clamp to 0) into the
+// histogram.
+func (h *Histogram) Observe(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.counts[bucket(seconds)]++
+	h.count++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) in seconds,
+// interpolating linearly inside the containing bucket. Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := bucketBounds(b)
+			if hi > h.max {
+				hi = h.max // the top occupied bucket cannot exceed the max
+			}
+			if hi < lo {
+				return lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// bucketBounds returns a bucket's [lo, hi) value range in seconds.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1e-6
+	}
+	return float64(int64(1)<<(b-1)) / 1e6, float64(int64(1)<<b) / 1e6
+}
+
+// Summary is the wire-format snapshot of a Histogram: the count plus the
+// mean/median/tail quantiles the serving stats endpoint reports. All times
+// are host wall-clock seconds.
+type Summary struct {
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// Summarize snapshots the histogram.
+func (h *Histogram) Summarize() Summary {
+	s := Summary{Count: h.count, MaxSeconds: h.max}
+	if h.count > 0 {
+		s.MeanSeconds = h.sum / float64(h.count)
+		s.P50Seconds = h.Quantile(0.50)
+		s.P99Seconds = h.Quantile(0.99)
+		s.P999Seconds = h.Quantile(0.999)
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of samples by the
+// nearest-rank rule, sorting a copy; unlike Histogram.Quantile this is
+// exact, which is what the figServe tail-latency records want. Returns 0
+// for an empty slice.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	s := h.Summarize()
+	if s.Count != 0 || s.P99Seconds != 0 || s.MaxSeconds != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+// TestHistogramQuantileBoundedError checks the log-linear design contract:
+// every quantile estimate lands within the containing power-of-two bucket,
+// so it is off from the exact sample quantile by at most 2x (and the max
+// is exact).
+func TestHistogramQuantileBoundedError(t *testing.T) {
+	var h Histogram
+	var samples []float64
+	// A skewed latency-like distribution spanning five decades.
+	v := 50e-6
+	for i := 0; i < 5000; i++ {
+		v = math.Mod(v*1.618+13e-6, 0.9) + 10e-6
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Quantile(samples, q)
+		est := h.Quantile(q)
+		if est < exact/2 || est > exact*2 {
+			t.Errorf("q=%v: histogram estimate %.6f outside 2x of exact %.6f", q, est, exact)
+		}
+	}
+	s := h.Summarize()
+	if s.Count != 5000 {
+		t.Errorf("count = %d", s.Count)
+	}
+	max := Quantile(samples, 1)
+	if s.MaxSeconds != max {
+		t.Errorf("max = %v, want %v", s.MaxSeconds, max)
+	}
+	if s.P50Seconds > s.P99Seconds || s.P99Seconds > s.MaxSeconds {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-3)
+	if h.max != 0 || h.count != 1 {
+		t.Errorf("negative observation: max=%v count=%d", h.max, h.count)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.0, 1}, {0.5, 3}, {1.0, 5}, {0.99, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// The input slice must not be reordered.
+	if samples[0] != 5 || samples[4] != 3 {
+		t.Errorf("Quantile mutated its input: %v", samples)
+	}
+}
