@@ -28,6 +28,12 @@
 //	           [-classes interactive:4:256,batch:1:512]
 //	           [-cache 1024] [-seed-mb 256] [-preload clueweb12,kron30]
 //	           [-data-dir /var/lib/pmemserved] [-compact-div 20]
+//	           [-shards 16]
+//
+// Jobs submitted with "shards": N run as scatter/gather BSP supersteps
+// over N in-process shard workers (bitwise-identical outputs to an
+// unsharded run of the same round-based kernel); -shards caps the
+// accepted width.
 package main
 
 import (
@@ -56,6 +62,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty = in-memory only")
 	compactDiv := flag.Int64("compact-div", server.DefaultCompactDiv,
 		"compact an overlay epoch once it holds more than |E|/div entries; negative disables")
+	maxShards := flag.Int("shards", server.DefaultMaxShards,
+		"max shard workers a job may request via \"shards\" (each is a full simulated machine)")
 	flag.Parse()
 
 	var scale gen.Scale
@@ -100,6 +108,7 @@ func main() {
 		SeedBytes:    *seedMB << 20,
 		DataDir:      *dataDir,
 		CompactDiv:   *compactDiv,
+		MaxShards:    *maxShards,
 	})
 	defer srv.Close()
 

@@ -9,8 +9,9 @@ import (
 	"log"
 
 	"pmemgraph"
-	"pmemgraph/internal/distsim"
 	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/shard"
 )
 
 func main() {
@@ -29,7 +30,11 @@ func main() {
 
 	fmt.Println("D-Galois BSP vertex-program bfs on Stampede2:")
 	for _, hosts := range []int{2, 5, 20, 64} {
-		engine, err := distsim.NewEngine(g, distsim.DefaultConfig(hosts, gen.ScaleSmall.Div()))
+		part, err := graph.NewPartition(g, hosts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err := shard.New(part, shard.ClusterConfig(hosts, gen.ScaleSmall.Div()))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,6 +42,7 @@ func main() {
 		fmt.Printf("  %3d hosts (%4d cores): %.4f s  (%5.1f%% communication, %s sent)\n",
 			hosts, hosts*48, res.Seconds,
 			100*engine.CommSeconds()/res.Seconds, humanBytes(engine.BytesSent()))
+		engine.Close()
 	}
 	fmt.Println("\nThe cluster gains compute with hosts but pays per-round")
 	fmt.Println("synchronization on every one of the web crawl's hundreds of")

@@ -89,6 +89,17 @@ type Record struct {
 	P99Ms          float64 `json:"p99_ms,omitempty"`
 	P999Ms         float64 `json:"p999_ms,omitempty"`
 	GoodputRPS     float64 `json:"goodput_rps,omitempty"`
+	// figShard fields: one record per (app, shard count). Shards is the
+	// BSP fan-out width, CrossBytes the cross-shard frontier bytes shipped
+	// over the whole run, CommSeconds the simulated exchange time folded
+	// into SimSeconds, Speedup the sim-time ratio vs the same app at
+	// shards=1, and PerShardSeconds each shard machine's own wall clock
+	// (compute plus the barriers it waited in).
+	Shards          int       `json:"shards,omitempty"`
+	CrossBytes      int64     `json:"cross_shard_bytes,omitempty"`
+	CommSeconds     float64   `json:"comm_seconds,omitempty"`
+	Speedup         float64   `json:"speedup_vs_one_shard,omitempty"`
+	PerShardSeconds []float64 `json:"per_shard_seconds,omitempty"`
 }
 
 // Sink is a concurrency-safe Record collector backing BENCH_figures.json.
@@ -176,6 +187,8 @@ var registry = map[string]struct {
 		FigSeal},
 	"figServe": {"Serving under load: per-class tail latency and goodput vs offered load",
 		FigServe},
+	"figShard": {"Sharded BSP execution: sim-time, cross-shard traffic and speedup vs shard count",
+		FigShard},
 }
 
 // Experiments returns the registered experiment names in run order.
@@ -195,6 +208,7 @@ func orderKey(name string) string {
 		"fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9, "fig9": 10,
 		"fig10": 11, "table4": 12, "fig11": 13, "table5": 14,
 		"figCompress": 15, "figStream": 16, "figSeal": 17, "figServe": 18,
+		"figShard": 19,
 	}
 	return fmt.Sprintf("%02d", order[name])
 }

@@ -10,13 +10,13 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	names := Experiments()
-	if len(names) != 18 {
-		t.Fatalf("experiments = %d, want 18 (every table and figure plus figCompress, figStream, figSeal and figServe)", len(names))
+	if len(names) != 19 {
+		t.Fatalf("experiments = %d, want 19 (every table and figure plus figCompress, figStream, figSeal, figServe and figShard)", len(names))
 	}
 	// Paper order, then the repo's own backend, streaming and serving studies.
 	want := []string{"table1", "table2", "table3", "fig4a", "fig4b", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "table5",
-		"figCompress", "figStream", "figSeal", "figServe"}
+		"figCompress", "figStream", "figSeal", "figServe", "figShard"}
 	for i, n := range names {
 		if n != want[i] {
 			t.Errorf("experiment[%d] = %s, want %s", i, n, want[i])

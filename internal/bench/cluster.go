@@ -5,11 +5,11 @@ import (
 
 	"pmemgraph/internal/analytics"
 	"pmemgraph/internal/core"
-	"pmemgraph/internal/distsim"
 	"pmemgraph/internal/frameworks"
 	"pmemgraph/internal/gen"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/shard"
 	"pmemgraph/internal/stats"
 )
 
@@ -17,8 +17,8 @@ import (
 // distributed triangle counting is a separate system, DistTC).
 var clusterApps = []string{"bc", "bfs", "cc", "kcore", "pr", "sssp"}
 
-// distRun dispatches one app on a distributed engine.
-func distRun(e *distsim.Engine, app string, params frameworks.Params) (*analytics.Result, error) {
+// distRun dispatches one app on a cluster-preset shard engine.
+func distRun(e *shard.Engine, app string, params frameworks.Params) (*analytics.Result, error) {
 	switch app {
 	case "bfs":
 		return e.BFS(params.Source), nil
@@ -35,6 +35,19 @@ func distRun(e *distsim.Engine, app string, params frameworks.Params) (*analytic
 	default:
 		return nil, fmt.Errorf("bench: no distributed %s", app)
 	}
+}
+
+// clusterEngine partitions g into `hosts` ranges and builds the Stampede2
+// cluster emulation over them (shard.ClusterConfig: 48 threads per host,
+// Omni-Path interconnect, OEC below 128 hosts / CVC at or above). g must
+// be sealed (weights + transpose) before the first call — partitions alias
+// the source arrays.
+func clusterEngine(g *graph.Graph, hosts int, scale gen.Scale) (*shard.Engine, error) {
+	part, err := graph.NewPartition(g, hosts)
+	if err != nil {
+		return nil, err
+	}
+	return shard.New(part, shard.ClusterConfig(hosts, scale.Div()))
 }
 
 // vertexRun executes the best *vertex-program* variant on a single
@@ -80,11 +93,21 @@ func minHostsFor(g *graph.Graph, scale gen.Scale) int {
 	// independent of whatever weights/transposes earlier experiments
 	// attached to the shared graph.
 	csr := int64(g.NumNodes()+1)*8 + g.NumEdges()*4
-	return distsim.MinHosts(csr*5/2, host)
+	return shard.MinHosts(csr*5/2, host)
 }
 
 // table4Graphs lists the Table 4 inputs.
 var table4Graphs = []string{"clueweb12", "uk14", "iso_m100", "wdc12"}
+
+// sealForCluster readies a shared input for partitioning: the cluster
+// kernels need weights (sssp) and the transpose (cc/pr/kcore), and both
+// must exist before graph.NewPartition slices the arrays.
+func sealForCluster(g *graph.Graph) {
+	if !g.HasWeights() {
+		g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
+	}
+	g.BuildIn()
+}
 
 // Table4 regenerates the Optane-vs-cluster comparison: Galois with the
 // best (non-vertex, asynchronous) algorithms on the Optane machine (OB)
@@ -101,12 +124,10 @@ func Table4(opt Options) error {
 	var speedups []float64
 	for _, gname := range graphs {
 		g, _ := input(gname, opt.Scale)
-		if !g.HasWeights() {
-			g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
-		}
+		sealForCluster(g)
 		params := frameworks.DefaultParams(g)
 		hosts := minHostsFor(g, opt.Scale)
-		e, err := distsim.NewEngine(g, distsim.DefaultConfig(hosts, opt.Scale.Div()))
+		e, err := clusterEngine(g, hosts, opt.Scale)
 		if err != nil {
 			return fmt.Errorf("table4 %s: %w", gname, err)
 		}
@@ -124,6 +145,7 @@ func Table4(opt Options) error {
 			speedups = append(speedups, sp)
 			fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%s\n", gname, app, dres.Seconds, ores.Seconds, stats.Ratio(sp))
 		}
+		e.Close()
 		fmt.Fprintf(w, "(%s: DM uses %d hosts)\n", gname, hosts)
 	}
 	fmt.Fprintf(w, "Geomean speedup of Optane PMM over Stampede DM: %s (paper: 1.7x)\n",
@@ -148,30 +170,32 @@ func Figure11(opt Options) error {
 	}
 	for _, gname := range graphs {
 		g, _ := input(gname, opt.Scale)
-		if !g.HasWeights() {
-			g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
-		}
+		sealForCluster(g)
 		params := frameworks.DefaultParams(g)
 		minHosts := minHostsFor(g, opt.Scale)
 
-		db, err := distsim.NewEngine(g, distsim.DefaultConfig(256, opt.Scale.Div()))
+		db, err := clusterEngine(g, 256, opt.Scale)
 		if err != nil {
 			return err
 		}
-		dm, err := distsim.NewEngine(g, distsim.DefaultConfig(minHosts, opt.Scale.Div()))
+		dm, err := clusterEngine(g, minHosts, opt.Scale)
 		if err != nil {
 			return err
 		}
-		dsCfg := distsim.DefaultConfig(minHosts, opt.Scale.Div())
-		dsCfg.ThreadsPerHost = maxInt(1, 80/minHosts)
-		ds, err := distsim.NewEngine(g, dsCfg)
+		dsPart, err := graph.NewPartition(g, minHosts)
+		if err != nil {
+			return err
+		}
+		dsCfg := shard.ClusterConfig(minHosts, opt.Scale.Div())
+		dsCfg.Threads = maxInt(1, 80/minHosts)
+		ds, err := shard.New(dsPart, dsCfg)
 		if err != nil {
 			return err
 		}
 
 		for _, app := range apps {
 			row := fmt.Sprintf("%s\t%s", gname, app)
-			for _, e := range []*distsim.Engine{db, dm, ds} {
+			for _, e := range []*shard.Engine{db, dm, ds} {
 				res, err := distRun(e, app, params)
 				if err != nil {
 					return err
@@ -194,6 +218,9 @@ func Figure11(opt Options) error {
 			row += fmt.Sprintf("\t%.4f\t%.4f\t%.4f", os_.Seconds, oa.Seconds, ob.Seconds)
 			fmt.Fprintln(w, row)
 		}
+		db.Close()
+		dm.Close()
+		ds.Close()
 	}
 	fmt.Fprintln(w, "(paper: OS similar or better than DS except pr; OB matches DB for bc/bfs/kcore/sssp)")
 	return w.Flush()

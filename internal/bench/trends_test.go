@@ -7,7 +7,9 @@ import (
 	"pmemgraph/internal/core"
 	"pmemgraph/internal/frameworks"
 	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/shard"
 )
 
 // Paper-trend conformance: the qualitative Figure 7/9 claims as plain
@@ -104,5 +106,39 @@ func TestMemoryModeBeatsUncachedOptaneOnPR(t *testing.T) {
 	if cached.Seconds >= uncached.Seconds {
 		t.Errorf("memory-mode pr (%.4fs) should beat uncached app-direct Optane pr (%.4fs)",
 			cached.Seconds, uncached.Seconds)
+	}
+}
+
+// TestShardSpeedupTrend pins the figShard claim: on a low-diameter input
+// (kron30, wide frontiers) sharded BSP bfs at 8 shards must finish in at
+// most half the simulated time of the identical kernel at 1 shard — the
+// partitioned compute has to dominate the exchange term, or the sharded
+// execution path buys a serving deployment nothing.
+func TestShardSpeedupTrend(t *testing.T) {
+	g, _, err := gen.Input("kron30", gen.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.MaxOutDegreeNode()
+	machine := optaneMachine(gen.ScaleSmall)
+
+	run := func(shards int) float64 {
+		part, err := graph.NewPartition(g, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := shard.New(part, shard.ServingConfig(machine, 16, core.BackendRaw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return e.BFS(src).Seconds
+	}
+
+	one := run(1)
+	eight := run(8)
+	if eight*2 > one {
+		t.Errorf("8-shard bfs (%.4fs) should be at least 2x faster than 1 shard (%.4fs) on kron30",
+			eight, one)
 	}
 }

@@ -1,28 +1,19 @@
-// Package worklist implements the frontier structures of §5.1 of the
-// paper. Dense is a bit-vector of size |V| marking active vertices — the
-// only frontier representation in Ligra/GBBS/GraphIt-style systems, and
-// the dedup/membership structure behind the operator engine's sparse
-// worklists too. The engine's sparse frontiers themselves are per-thread
-// claim buffers merged deterministically at round barriers (see
-// internal/engine), and delta-stepping sssp schedules over plain priority-
-// indexed bucket slices with barrier-applied intents — both replaced the
-// concurrent chunked Bag and the OBIM bucket scheduler this package used
-// to provide, which could not order work deterministically under real
-// parallelism.
-//
-// Dense is safe for concurrent use by the virtual threads of one memsim
-// parallel region. It is a pure data structure; the simulated cost of
-// reading and writing it is charged by the kernels through their memsim
-// arrays.
-package worklist
+package engine
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"pmemgraph/internal/graph"
 )
 
-// Dense is a bit-vector worklist over |V| vertices with atomic activation.
+// Dense is a bit-vector worklist over |V| vertices with atomic activation —
+// the frontier structure of §5.1 of the paper, and the dedup/membership
+// structure behind the engine's sparse worklists. It is safe for concurrent
+// use by the virtual threads of one memsim parallel region (and by the
+// shard workers of one superstep, which only read it). It is a pure data
+// structure; the simulated cost of reading and writing it is charged by the
+// kernels through their memsim arrays.
 type Dense struct {
 	words []atomic.Uint64
 	n     int
@@ -33,9 +24,9 @@ func NewDense(n int) *Dense {
 	return &Dense{words: make([]atomic.Uint64, (n+63)/64), n: n}
 }
 
-// Full returns a dense worklist with every vertex active (the initial
+// FullDense returns a dense worklist with every vertex active (the initial
 // frontier of topology-driven rounds).
-func Full(n int) *Dense {
+func FullDense(n int) *Dense {
 	d := NewDense(n)
 	for i := range d.words {
 		d.words[i].Store(^uint64(0))
@@ -46,9 +37,9 @@ func Full(n int) *Dense {
 	return d
 }
 
-// FromVertices returns a dense worklist with exactly vs active (the
+// DenseFromVertices returns a dense worklist with exactly vs active (the
 // sparse-to-dense frontier conversion).
-func FromVertices(n int, vs []graph.Node) *Dense {
+func DenseFromVertices(n int, vs []graph.Node) *Dense {
 	d := NewDense(n)
 	for _, v := range vs {
 		d.Set(v)
@@ -133,6 +124,36 @@ func (d *Dense) ForEachInRange(lo, hi graph.Node, fn func(v graph.Node)) {
 			}
 		}
 	}
+}
+
+// MergeFragments merges per-shard claim fragments (each already sorted and
+// deduplicated, exactly as a superstep exchange ships them) into one
+// ID-sorted, deduplicated next frontier. Fragments are concatenated in
+// shard-index order before the final sort, so the result is a pure
+// function of the fragment contents — the cross-shard analogue of the
+// per-thread claim-buffer merge the engine performs at push-round
+// barriers.
+func MergeFragments(frags [][]graph.Node) []graph.Node {
+	total := 0
+	for _, f := range frags {
+		total += len(f)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]graph.Node, 0, total)
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
 }
 
 func popcount(x uint64) int {

@@ -1,4 +1,4 @@
-package worklist
+package engine
 
 import (
 	"testing"
@@ -76,29 +76,29 @@ func TestDensePropertySetImpliesTest(t *testing.T) {
 	}
 }
 
-func TestFullActivatesEveryVertex(t *testing.T) {
+func TestFullDenseActivatesEveryVertex(t *testing.T) {
 	for _, n := range []int{1, 63, 64, 65, 130} {
-		d := Full(n)
+		d := FullDense(n)
 		if d.Count() != n {
-			t.Errorf("Full(%d).Count() = %d", n, d.Count())
+			t.Errorf("FullDense(%d).Count() = %d", n, d.Count())
 		}
 		for v := 0; v < n; v++ {
 			if !d.Test(graph.Node(v)) {
-				t.Errorf("Full(%d): vertex %d inactive", n, v)
+				t.Errorf("FullDense(%d): vertex %d inactive", n, v)
 			}
 		}
 		// No phantom bits beyond n.
 		got := 0
 		d.ForEachInRange(0, graph.Node(n), func(graph.Node) { got++ })
 		if got != n {
-			t.Errorf("Full(%d) iterates %d vertices", n, got)
+			t.Errorf("FullDense(%d) iterates %d vertices", n, got)
 		}
 	}
 }
 
 func TestDenseSparseConversionRoundTrip(t *testing.T) {
 	vs := []graph.Node{0, 5, 63, 64, 99}
-	d := FromVertices(100, vs)
+	d := DenseFromVertices(100, vs)
 	if d.Count() != len(vs) {
 		t.Fatalf("count = %d", d.Count())
 	}
@@ -114,7 +114,7 @@ func TestDenseSparseConversionRoundTrip(t *testing.T) {
 }
 
 func TestVerticesAppendsToBuffer(t *testing.T) {
-	d := FromVertices(64, []graph.Node{7})
+	d := DenseFromVertices(64, []graph.Node{7})
 	buf := []graph.Node{1, 2}
 	out := d.Vertices(buf)
 	if len(out) != 3 || out[2] != 7 {
@@ -123,7 +123,7 @@ func TestVerticesAppendsToBuffer(t *testing.T) {
 }
 
 func TestUnsetClearsOnlyTargetBit(t *testing.T) {
-	d := FromVertices(128, []graph.Node{3, 64, 100})
+	d := DenseFromVertices(128, []graph.Node{3, 64, 100})
 	d.Unset(64)
 	if d.Test(64) {
 		t.Error("unset vertex still active")
@@ -133,5 +133,33 @@ func TestUnsetClearsOnlyTargetBit(t *testing.T) {
 	}
 	if d.Count() != 2 {
 		t.Errorf("count = %d, want 2", d.Count())
+	}
+}
+
+func TestMergeFragments(t *testing.T) {
+	got := MergeFragments([][]graph.Node{
+		{2, 5, 9},
+		{1, 5, 7},
+		nil,
+		{2, 9, 11},
+	})
+	want := []graph.Node{1, 2, 5, 7, 9, 11}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if MergeFragments(nil) != nil {
+		t.Error("empty merge should be nil")
+	}
+	// Shard order must not matter once fragments are sorted and deduped.
+	swapped := MergeFragments([][]graph.Node{{2, 9, 11}, {1, 5, 7}, {2, 5, 9}})
+	for i := range want {
+		if swapped[i] != want[i] {
+			t.Fatalf("order-dependent merge: %v", swapped)
+		}
 	}
 }

@@ -7,7 +7,6 @@ import (
 	"pmemgraph/internal/core"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
-	"pmemgraph/internal/worklist"
 )
 
 // Rep selects the frontier representation policy.
@@ -96,7 +95,7 @@ type Engine struct {
 	// deduplicates against. It is cleared in O(|activated|) after each
 	// round (Unset per activated vertex) so thousands of tiny-frontier
 	// rounds on a high-diameter graph never pay an O(|V|) zeroing.
-	dedup *worklist.Dense
+	dedup *Dense
 
 	// claims holds one activation buffer per virtual thread, indexed by
 	// Thread.ID. Threads append claims race-free during a push round; the
@@ -177,7 +176,7 @@ func (e *Engine) NewFrontier(vs ...graph.Node) *Frontier {
 	}
 	if e.wantDense(f.count, f.outEdges) {
 		f.isDense = true
-		f.dense = worklist.FromVertices(n, vs)
+		f.dense = DenseFromVertices(n, vs)
 	} else {
 		f.sparse = append([]graph.Node(nil), vs...)
 	}
@@ -203,7 +202,7 @@ func (e *Engine) FullFrontier() *Frontier {
 	f := &Frontier{n: n, count: int64(n), outEdges: e.R.NumEdges()}
 	if e.wantDense(f.count, f.outEdges) {
 		f.isDense = true
-		f.dense = worklist.Full(n)
+		f.dense = FullDense(n)
 	} else {
 		vs := make([]graph.Node, n)
 		for i := range vs {
@@ -323,7 +322,7 @@ func (e *Engine) EdgeMap(f *Frontier, args EdgeMapArgs) *Frontier {
 // O(|activated|).
 func (e *Engine) mergeClaims(n int) *Frontier {
 	if e.dedup == nil {
-		e.dedup = worklist.NewDense(n)
+		e.dedup = NewDense(n)
 	}
 	var vs []graph.Node
 	for i := range e.claims {
@@ -353,7 +352,7 @@ func (e *Engine) finishPush(next *Frontier, rs *RoundStat) *Frontier {
 		return next
 	}
 	if e.wantDense(next.count, next.outEdges) {
-		next.dense = worklist.FromVertices(next.n, next.sparse)
+		next.dense = DenseFromVertices(next.n, next.sparse)
 		next.isDense = true
 		next.sparse = nil
 		addStats(&rs.Stats, e.R.ParallelItems(next.count, func(t *memsim.Thread, lo, hi int64) {
@@ -492,7 +491,7 @@ func (e *Engine) chargePushChunk(t *memsim.Thread, args *EdgeMapArgs, verts, edg
 // scans as per-vertex prefixes.
 func (e *Engine) pullRound(f *Frontier, args *EdgeMapArgs, rs *RoundStat) *Frontier {
 	n := int64(f.n)
-	nextSet := worklist.NewDense(f.n)
+	nextSet := NewDense(f.n)
 	whole := args.PullCond == nil
 	var cnt, outEdges atomic.Int64
 	stats := e.R.ParallelVerts(func(t *memsim.Thread, lo, hi graph.Node) {
@@ -609,7 +608,7 @@ func (e *Engine) toDense(f *Frontier) memsim.RegionStats {
 		e.wl.ReadRange(t, lo, hi)
 		e.bits.RandomN(t, hi-lo, true)
 	})
-	f.dense = worklist.FromVertices(f.n, vs)
+	f.dense = DenseFromVertices(f.n, vs)
 	f.isDense = true
 	f.sparse = nil
 	return stats
@@ -698,7 +697,7 @@ func (e *Engine) VertexFilter(a VertexMapArgs, keep func(v graph.Node) bool) *Fr
 	}
 	f := &Frontier{n: e.R.NumNodes(), sparse: vs, count: int64(len(vs)), outEdges: outEdges}
 	if f.count > 0 && e.wantDense(f.count, f.outEdges) {
-		f.dense = worklist.FromVertices(f.n, f.sparse)
+		f.dense = DenseFromVertices(f.n, f.sparse)
 		f.isDense = true
 		f.sparse = nil
 	}

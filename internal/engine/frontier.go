@@ -3,7 +3,6 @@ package engine
 import (
 	"pmemgraph/internal/core"
 	"pmemgraph/internal/graph"
-	"pmemgraph/internal/worklist"
 )
 
 // Frontier is the set of active vertices flowing between rounds of an
@@ -17,7 +16,7 @@ import (
 type Frontier struct {
 	n        int
 	sparse   []graph.Node
-	dense    *worklist.Dense
+	dense    *Dense
 	isDense  bool
 	count    int64
 	outEdges int64

@@ -41,6 +41,7 @@ import (
 	"pmemgraph/internal/engine"
 	"pmemgraph/internal/graph"
 	"pmemgraph/internal/memsim"
+	"pmemgraph/internal/shard"
 )
 
 // Profile describes one framework's constraints. A profile is executed by
@@ -376,6 +377,68 @@ func buildRuntime(m *memsim.Machine, g *graph.Graph, ov *graph.Overlay, opts cor
 
 // Apps returns the paper's benchmark names in presentation order.
 func Apps() []string { return []string{"bc", "bfs", "cc", "kcore", "pr", "sssp", "tc"} }
+
+// ShardedApp reports whether app has a sharded BSP kernel. tc is the one
+// benchmark without one: its intersection operator is not a scatter/gather
+// vertex program.
+func ShardedApp(app string) bool {
+	switch app {
+	case "bc", "bfs", "cc", "kcore", "pr", "sssp":
+		return true
+	}
+	return false
+}
+
+// RunShardedOnOpts executes app over a partitioned graph as scatter/gather
+// BSP supersteps: one shard worker per partition range, each with its own
+// machine (built from the machine config) and backend, coordinated by
+// internal/shard. This is framework-independent — BSP vertex programs are
+// the common denominator every framework can express — so unlike RunOnOpts
+// it is not a Profile method.
+//
+// Outputs are bitwise identical across shard counts, GOMAXPROCS, and
+// backends (the shard conformance suite locks all three axes), and a
+// 1-shard run matches the app's round-based single-machine kernel.
+//
+// The partition's source must be sealed for the app before partitioning:
+// locals alias the source arrays, so weights (sssp) and the transpose
+// (cc/pr/kcore) cannot be added after the fact — missing seals are refused
+// here rather than repaired.
+func RunShardedOnOpts(machine memsim.MachineConfig, part *graph.Partition, app string, opts core.Options, params Params) (*analytics.Result, error) {
+	g := part.Source()
+	switch app {
+	case "sssp":
+		if !g.HasWeights() {
+			return nil, fmt.Errorf("frameworks: sharded sssp needs weights sealed before partitioning")
+		}
+	case "cc", "pr", "kcore":
+		if !g.HasIn() {
+			return nil, fmt.Errorf("frameworks: sharded %s needs the transpose sealed before partitioning", app)
+		}
+	case "bfs", "bc":
+	default:
+		return nil, fmt.Errorf("frameworks: app %q has no sharded BSP kernel", app)
+	}
+	e, err := shard.New(part, shard.ServingConfig(machine, opts.Threads, opts.Backend))
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	switch app {
+	case "bfs":
+		return e.BFS(params.Source), nil
+	case "sssp":
+		return e.SSSP(params.Source), nil
+	case "cc":
+		return e.CC(), nil
+	case "pr":
+		return e.PR(params.Tol, params.Rounds), nil
+	case "kcore":
+		return e.KCore(params.K), nil
+	default: // bc
+		return e.BC(params.Source), nil
+	}
+}
 
 // --- Incremental execution (streaming updates) ---
 

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a reproducible random multigraph-free digraph with
+// weights and a transpose, the sealed shape the server partitions.
+func randomGraph(t *testing.T, n, e int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]Node]bool{}
+	var edges []Edge
+	for len(edges) < e {
+		s, d := Node(rng.Intn(n)), Node(rng.Intn(n))
+		if seen[[2]Node{s, d}] {
+			continue
+		}
+		seen[[2]Node{s, d}] = true
+		edges = append(edges, Edge{Src: s, Dst: d})
+	}
+	g := MustFromEdges(n, edges, false, false)
+	g.AddRandomWeights(64, uint64(seed)|1)
+	g.BuildIn()
+	return g
+}
+
+func TestPartitionRangesTileVertexSpace(t *testing.T) {
+	g := randomGraph(t, 500, 3000, 1)
+	for _, shards := range []int{1, 2, 3, 8, 499, 700} {
+		p, err := NewPartition(g, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := Node(0)
+		for i := 0; i < p.Shards(); i++ {
+			r := p.RangeOf(i)
+			if r.Lo != next {
+				t.Fatalf("shards=%d: range %d starts at %d, want %d", shards, i, r.Lo, next)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("shards=%d: inverted range %d", shards, i)
+			}
+			next = r.Hi
+			for v := r.Lo; v < r.Hi; v++ {
+				if p.Owner(v) != i {
+					t.Fatalf("shards=%d: owner(%d) = %d, want %d", shards, v, p.Owner(v), i)
+				}
+			}
+		}
+		if int(next) != g.NumNodes() {
+			t.Fatalf("shards=%d: ranges cover [0,%d), want [0,%d)", shards, next, g.NumNodes())
+		}
+	}
+}
+
+// TestPartitionEdgesLandExactlyOnce is the scatter-set property: summing
+// per-shard local edge counts reaches |E|, and each local row reproduces
+// the source row of its global vertex — so every edge is in exactly one
+// shard's scatter set, attached to its owner.
+func TestPartitionEdgesLandExactlyOnce(t *testing.T) {
+	g := randomGraph(t, 400, 5000, 7)
+	p, err := NewPartition(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := 0; i < p.Shards(); i++ {
+		local := p.Local(i)
+		r := p.RangeOf(i)
+		if local.NumNodes() != int(r.Hi-r.Lo) {
+			t.Fatalf("shard %d: local |V| = %d, want %d", i, local.NumNodes(), r.Hi-r.Lo)
+		}
+		total += local.NumEdges()
+		for v := r.Lo; v < r.Hi; v++ {
+			want := g.OutNeighbors(v)
+			got := local.OutNeighbors(v - r.Lo)
+			if len(got) != len(want) {
+				t.Fatalf("shard %d vertex %d: degree %d, want %d", i, v, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("shard %d vertex %d edge %d: %d, want %d (global IDs)", i, v, k, got[k], want[k])
+				}
+			}
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("local edges sum to %d, want %d", total, g.NumEdges())
+	}
+}
+
+func TestPartitionGhostTables(t *testing.T) {
+	g := randomGraph(t, 300, 2500, 3)
+	p, err := NewPartition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Shards(); i++ {
+		r := p.RangeOf(i)
+		ghosts := p.Ghosts(i)
+		inTable := map[Node]bool{}
+		for k, d := range ghosts {
+			if d >= r.Lo && d < r.Hi {
+				t.Fatalf("shard %d ghost %d is owned locally", i, d)
+			}
+			if k > 0 && ghosts[k-1] >= d {
+				t.Fatalf("shard %d ghost table not sorted-unique at %d", i, k)
+			}
+			inTable[d] = true
+		}
+		// Every remote scatter target appears in the table.
+		for v := r.Lo; v < r.Hi; v++ {
+			for _, d := range g.OutNeighbors(v) {
+				if (d < r.Lo || d >= r.Hi) && !inTable[d] {
+					t.Fatalf("shard %d reaches %d but its ghost table misses it", i, d)
+				}
+			}
+		}
+	}
+}
+
+// csrBytes serializes every CSR array so the round-trip comparison is
+// literally byte-for-byte.
+func csrBytes(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, arr := range []any{g.OutOffsets, g.OutEdges, g.OutWeights, g.InOffsets, g.InEdges, g.InWeights} {
+		if err := binary.Write(&buf, binary.LittleEndian, arr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestPartitionReassembleRoundTrip(t *testing.T) {
+	g := randomGraph(t, 350, 4000, 11)
+	for _, shards := range []int{1, 2, 6, 13} {
+		p, err := NewPartition(g, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Reassemble()
+		if !bytes.Equal(csrBytes(t, got), csrBytes(t, g)) {
+			t.Fatalf("shards=%d: reassembled CSR differs from source", shards)
+		}
+	}
+}
+
+func TestPartitionRejectsBadShardCount(t *testing.T) {
+	g := randomGraph(t, 20, 50, 2)
+	if _, err := NewPartition(g, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewPartition(g, -3); err == nil {
+		t.Error("negative shards accepted")
+	}
+	// More shards than vertices clamps rather than fails.
+	p, err := NewPartition(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() > g.NumNodes() {
+		t.Errorf("shards = %d exceeds |V| = %d", p.Shards(), g.NumNodes())
+	}
+}

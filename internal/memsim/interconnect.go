@@ -1,0 +1,66 @@
+package memsim
+
+// Interconnect is the analytic alpha-beta cost model for the data exchanged
+// between machines at a superstep barrier: cross-shard frontier fragments
+// in the sharded serving engine, dirty-mirror sync in the cluster
+// emulation. Network time is not simulated event-by-event — the model
+// charges each exchange
+//
+//	t = alpha * log2(parties) + 2 * maxBytes * volumeFactor / bytesPerNs
+//
+// (synchronization that grows with the participant tree, plus a reduce +
+// broadcast in which the bottleneck participant's volume crosses the
+// interconnect twice). The result is charged onto wall clocks with
+// Machine.AdvanceWall, keeping the charging seam in this package alongside
+// the memory model.
+type Interconnect struct {
+	// AlphaNs is the per-exchange synchronization overhead for a 2-party
+	// exchange (barrier, message startup, serialization); it grows with
+	// log2(parties).
+	AlphaNs float64
+	// BytesPerNs is per-party interconnect bandwidth.
+	BytesPerNs float64
+}
+
+// ServingInterconnect models in-process shard workers exchanging frontier
+// fragments through shared memory: a ~2us barrier and DRAM-class copy
+// bandwidth.
+func ServingInterconnect() Interconnect {
+	return Interconnect{AlphaNs: 2_000, BytesPerNs: 50}
+}
+
+// StampedeInterconnect models the Stampede2 cluster fabric the paper's
+// D-Galois numbers come from: 100 Gb/s Omni-Path (12.5 B/ns) with a
+// per-round Gluon barrier calibrated against the paper's per-round costs
+// (~10-20 ms per bfs round on clueweb12 at 5 hosts).
+func StampedeInterconnect() Interconnect {
+	return Interconnect{AlphaNs: 400_000, BytesPerNs: 12.5}
+}
+
+// ExchangeNs returns the simulated cost of one superstep exchange among
+// `parties` machines whose bottleneck participant ships maxBytes.
+// volumeFactor scales the shipped volume for partition policies that
+// provably reduce it (e.g. a 2D vertex cut's 2/sqrt(parties)); pass 1 for
+// plain edge cuts. A single party still pays alpha — the barrier is real
+// even when nothing crosses the wire.
+func (ic Interconnect) ExchangeNs(parties int, maxBytes int64, volumeFactor float64) float64 {
+	if volumeFactor <= 0 {
+		volumeFactor = 1
+	}
+	alpha := ic.AlphaNs * log2f(parties)
+	if ic.BytesPerNs <= 0 {
+		return alpha
+	}
+	return alpha + 2*float64(maxBytes)*volumeFactor/ic.BytesPerNs
+}
+
+// log2f is a coarse integer log2 (>= 1), matching the synchronization
+// tree-depth growth the alpha term models.
+func log2f(n int) float64 {
+	f := 1.0
+	for n > 2 {
+		n /= 2
+		f++
+	}
+	return f
+}

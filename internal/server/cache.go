@@ -27,13 +27,19 @@ import (
 // whose bytes ARE a pure function of the key. The epoch's adjacency form
 // (info.Form: csr vs overlay) is in the key for the same reason: a
 // compaction keeps the epoch and the outputs but changes the charging, so
-// the two forms' bytes must never alias. The key leads with
+// the two forms' bytes must never alias. Sharded executions are qualified
+// by their shard count ("|s<N>") for the same reason again: outputs are
+// bitwise identical across shard counts, but the timing and traffic
+// metadata in the serialized Result are per-width. The key leads with
 // "<graph>|<epoch>|" so per-graph invalidation is a prefix match.
 func cacheKey(info GraphInfo, app string, p frameworks.Profile, threads int,
-	cfg engine.Config, opts core.Options, params frameworks.Params, machine string, incremental bool) string {
+	cfg engine.Config, opts core.Options, params frameworks.Params, machine string, incremental bool, shards int) string {
 	inc := ""
 	if incremental {
 		inc = "|inc"
+	}
+	if shards > 0 {
+		inc += fmt.Sprintf("|s%d", shards)
 	}
 	return fmt.Sprintf("%s|%d|f=%s|%s|%s|t%d|cfg%+v|opt%+v|par%+v|m=%s%s",
 		info.Name, info.Epoch, info.Form, app, p.Name, threads, cfg, opts, params, machine, inc)

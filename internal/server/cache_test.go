@@ -65,20 +65,22 @@ func TestCacheKeyCoversExecutionInputs(t *testing.T) {
 	info := GraphInfo{Name: "web", Epoch: 3}
 	galois := frameworks.Galois
 	params := frameworks.Params{Source: 5, Delta: 64, K: 10, Tol: 1e-4, Rounds: 50}
-	base := cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false)
+	base := cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false, 0)
 
-	if again := cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false); again != base {
+	if again := cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false, 0); again != base {
 		t.Error("identical inputs produced different keys")
 	}
 	variants := []string{
-		cacheKey(GraphInfo{Name: "other", Epoch: 3}, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false),
-		cacheKey(GraphInfo{Name: "web", Epoch: 4}, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false),
-		cacheKey(info, "cc", galois, 8, galois.Engine(), galois.Options("cc", 8), params, "optane", false),
-		cacheKey(info, "bfs", galois, 16, galois.Engine(), galois.Options("bfs", 16), params, "optane", false),
-		cacheKey(info, "bfs", frameworks.GBBS, 8, frameworks.GBBS.Engine(), frameworks.GBBS.Options("bfs", 8), params, "optane", false),
-		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), frameworks.Params{Source: 6, Delta: 64, K: 10, Tol: 1e-4, Rounds: 50}, "optane", false),
-		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "dram", false),
-		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", true),
+		cacheKey(GraphInfo{Name: "other", Epoch: 3}, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false, 0),
+		cacheKey(GraphInfo{Name: "web", Epoch: 4}, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false, 0),
+		cacheKey(info, "cc", galois, 8, galois.Engine(), galois.Options("cc", 8), params, "optane", false, 0),
+		cacheKey(info, "bfs", galois, 16, galois.Engine(), galois.Options("bfs", 16), params, "optane", false, 0),
+		cacheKey(info, "bfs", frameworks.GBBS, 8, frameworks.GBBS.Engine(), frameworks.GBBS.Options("bfs", 8), params, "optane", false, 0),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), frameworks.Params{Source: 6, Delta: 64, K: 10, Tol: 1e-4, Rounds: 50}, "optane", false, 0),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "dram", false, 0),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", true, 0),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false, 1),
+		cacheKey(info, "bfs", galois, 8, galois.Engine(), galois.Options("bfs", 8), params, "optane", false, 8),
 	}
 	seen := map[string]bool{base: true}
 	for i, v := range variants {

@@ -100,6 +100,13 @@ type residentGraph struct {
 	// store is the graph's durable state (nil without a data dir); it is
 	// carried across epoch swaps and removed on eviction.
 	store *graphStore
+	// parts caches the epoch's partitioned forms by shard count, built on
+	// first use (partitioning is O(V) but the per-shard ghost tables are
+	// not free, and sharded serving is cache-hit-heavy). The cache lives
+	// on the epoch entry, so an update batch or checkpoint — which swaps
+	// the entry — naturally drops stale partitions.
+	partMu sync.Mutex
+	parts  map[int]*graph.Partition
 }
 
 // DefaultCompactDiv is the compaction threshold divisor when the config
@@ -271,6 +278,39 @@ func (r *Registry) Snapshot(name string) (*graph.Graph, GraphInfo, bool) {
 		seal(g)
 	}
 	return g, info, true
+}
+
+// PartitionView returns the named graph's partitioned form for the given
+// shard count, building and retaining it on first use (per epoch — epoch
+// swaps drop the cache with the entry). Only csr-form epochs can be
+// partitioned: shard-local graphs alias the sealed CSR arrays, which an
+// overlay epoch does not have in merged form. The returned info is the
+// epoch the partition belongs to, so callers resolving the graph
+// separately can detect a concurrent swap.
+func (r *Registry) PartitionView(name string, shards int) (*graph.Partition, GraphInfo, error) {
+	r.mu.RLock()
+	rg, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, GraphInfo{}, fmt.Errorf("server: graph %q %w", name, ErrNotLoaded)
+	}
+	if rg.ov != nil {
+		return nil, GraphInfo{}, fmt.Errorf("server: graph %q is overlay-form; checkpoint it before sharded jobs", name)
+	}
+	rg.partMu.Lock()
+	defer rg.partMu.Unlock()
+	if p, ok := rg.parts[shards]; ok {
+		return p, rg.info, nil
+	}
+	p, err := graph.NewPartition(rg.g, shards)
+	if err != nil {
+		return nil, GraphInfo{}, fmt.Errorf("server: partitioning %q: %w", name, err)
+	}
+	if rg.parts == nil {
+		rg.parts = make(map[int]*graph.Partition)
+	}
+	rg.parts[shards] = p
+	return p, rg.info, nil
 }
 
 // Defaults returns the graph's precomputed kernel parameter defaults.

@@ -443,9 +443,23 @@ func (s *Scheduler) dequeueLocked() (*Job, *classQueue) {
 			}
 			continue
 		}
-		pick.credit--
-		return heap.Pop(&pick.jobs).(*Job), pick
+		job := heap.Pop(&pick.jobs).(*Job)
+		pick.credit -= jobWidth(job)
+		return job, pick
 	}
+}
+
+// jobWidth is the drain credit one dequeue costs its class: a sharded job
+// fans out over N simulated shard workers inside its slot, so the weighted
+// round-robin charges it N credits — a class burning wide jobs yields
+// proportionally more turns to its peers before the next credit reset,
+// keeping the starvation bound in units of simulated capacity rather than
+// job count.
+func jobWidth(j *Job) int {
+	if j.Req.Shards > 1 {
+		return j.Req.Shards
+	}
+	return 1
 }
 
 func (s *Scheduler) worker() {

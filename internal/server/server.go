@@ -40,6 +40,11 @@ type Config struct {
 	// MaxJobs bounds retained job records (0 = DefaultMaxJobs); the
 	// oldest completed jobs are forgotten past it.
 	MaxJobs int
+	// MaxShards bounds JobRequest.Shards (0 = DefaultMaxShards). Each
+	// shard worker is a full simulated machine plus a replicated label
+	// array, so the ceiling is a resident-memory guard, not a correctness
+	// one.
+	MaxShards int
 	// SeedBytes bounds the incremental seed store (0 = DefaultSeedBytes).
 	SeedBytes int64
 	// DataDir, when set, makes graphs durable: each registered graph
@@ -55,6 +60,9 @@ type Config struct {
 
 // DefaultMaxJobs bounds the job history when Config.MaxJobs is 0.
 const DefaultMaxJobs = 4096
+
+// DefaultMaxShards bounds JobRequest.Shards when Config.MaxShards is 0.
+const DefaultMaxShards = 16
 
 // JobRequest is the submission body of POST /v1/jobs.
 type JobRequest struct {
@@ -83,6 +91,17 @@ type JobRequest struct {
 	// deadline expires while it queues is shed (terminal "shed" state,
 	// 503 on the result endpoints) instead of executed.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Shards, when positive, runs the job as scatter/gather BSP supersteps
+	// over that many in-process shard workers (internal/shard), each with
+	// its own simulated machine and backend over one contiguous vertex
+	// range. Outputs are bitwise identical to shards=1 (the sharded
+	// conformance suite locks it); only the charging differs. 0 = the
+	// ordinary single-runtime execution. Sharded jobs require a csr-form
+	// epoch (checkpoint overlay graphs first), an app with a BSP kernel
+	// (everything but tc), and are incompatible with Incremental. The
+	// cache key carries the shard count, so differently-sharded runs of
+	// one request never alias each other's timing metadata.
+	Shards int `json:"shards,omitempty"`
 	// NoCache bypasses the result cache (the run still executes
 	// deterministically; used to measure cold-path behavior).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -215,6 +234,8 @@ type jobPlan struct {
 	info    GraphInfo
 	params  frameworks.Params
 	threads int
+	// shards is the validated BSP fan-out width (0 = unsharded).
+	shards int
 	// opts is the exact runtime configuration the job executes with
 	// (profile options + requested backend); the cache key formats this
 	// same value, so key and execution cannot drift apart.
@@ -260,6 +281,27 @@ func (s *Server) validate(req JobRequest) (jobPlan, error) {
 	if req.Incremental && !frameworks.IncrementalApp(req.App) {
 		return plan, fmt.Errorf("%s has no incremental variant (cc and pr only)", req.App)
 	}
+	if req.Shards < 0 {
+		return plan, fmt.Errorf("negative shard count %d", req.Shards)
+	}
+	maxShards := s.cfg.MaxShards
+	if maxShards <= 0 {
+		maxShards = DefaultMaxShards
+	}
+	if req.Shards > maxShards {
+		return plan, fmt.Errorf("shard count %d exceeds the configured limit %d", req.Shards, maxShards)
+	}
+	if req.Shards > 0 {
+		if req.Incremental {
+			return plan, fmt.Errorf("sharded jobs cannot run incrementally")
+		}
+		if !frameworks.ShardedApp(req.App) {
+			return plan, fmt.Errorf("%s has no sharded BSP kernel", req.App)
+		}
+		if ov != nil {
+			return plan, fmt.Errorf("graph %q is overlay-form; checkpoint it before sharded jobs", req.Graph)
+		}
+	}
 	if !p.Supports(req.App) {
 		return plan, fmt.Errorf("%s does not implement %s", p.Name, req.App)
 	}
@@ -277,6 +319,7 @@ func (s *Server) validate(req JobRequest) (jobPlan, error) {
 		return plan, fmt.Errorf("source %d out of range (graph has %d nodes)", params.Source, g.NumNodes())
 	}
 	plan.g, plan.ov, plan.info, plan.params, plan.threads = g, ov, info, params, s.defaultThreads(req.Threads)
+	plan.shards = req.Shards
 	plan.opts = p.Options(req.App, plan.threads)
 	plan.opts.Backend = backend
 	return plan, nil
@@ -345,7 +388,7 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 	// form is part of the key too: a compaction swaps overlay -> csr
 	// under the SAME epoch with byte-identical outputs but different
 	// charging, so the forms must not alias each other's bytes.
-	key := cacheKey(plan.info, req.App, p, threads, p.Engine(), plan.opts, params, s.cfg.Machine.Name, req.Incremental)
+	key := cacheKey(plan.info, req.App, p, threads, p.Engine(), plan.opts, params, s.cfg.Machine.Name, req.Incremental, plan.shards)
 	var fl *flight
 	if !req.NoCache {
 		if data, ok := s.cache.Get(key); ok {
@@ -398,6 +441,21 @@ func (s *Server) runJob(job *Job) ([]byte, bool, error) {
 		}
 		if err == nil {
 			s.seeds.Put(skey, seedEntry{Epoch: plan.info.Epoch, Seed: newSeed})
+		}
+	} else if plan.shards > 0 {
+		// Sharded BSP fan-out: the registry hands back (building on first
+		// use) the epoch's partitioned form for this shard count. The
+		// epoch check closes the validate -> partition race: an update
+		// batch landing in between would otherwise run new data under the
+		// old epoch's cache key.
+		var part *graph.Partition
+		var pinfo GraphInfo
+		part, pinfo, err = s.reg.PartitionView(req.Graph, plan.shards)
+		if err == nil && pinfo.Epoch != plan.info.Epoch {
+			err = fmt.Errorf("graph %q changed while the job was scheduled; resubmit", req.Graph)
+		}
+		if err == nil {
+			res, err = frameworks.RunShardedOnOpts(s.cfg.Machine, part, req.App, plan.opts, params)
 		}
 	} else if plan.ov != nil {
 		res, err = p.RunOverlayOnOpts(m, plan.ov, req.App, plan.opts, params)

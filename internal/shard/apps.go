@@ -1,0 +1,387 @@
+package shard
+
+import (
+	"math"
+
+	"pmemgraph/internal/analytics"
+	"pmemgraph/internal/engine"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// This file implements the round-based benchmark set (bfs, sssp as
+// data-driven Bellman-Ford, cc as label propagation, pr as topology-driven
+// pull, kcore as round-based peeling, bc as round-synchronous Brandes) as
+// scatter/gather BSP vertex programs over the shard fleet. These are the
+// vertex-program formulations the paper's DM/DB/DS cluster configurations
+// run — deliberately NOT the more efficient asynchronous/non-vertex
+// algorithms, which BSP systems cannot express (§6.3).
+//
+// Every kernel follows the same shape: workers scan their owned range
+// against the round-start frontier, charge their own machines (adjacency
+// through the runtime's backend views, label traffic through the
+// replicated label array), and record claims; the coordinator merges the
+// shipped fragments and applies them sequentially between supersteps.
+// Shared label state is plain (non-atomic) memory that workers only read
+// during a superstep — the apply step is the only writer, and the
+// superstep barrier orders the two.
+
+// BFS runs sharded breadth-first search from src.
+func (e *Engine) BFS(src graph.Node) *analytics.Result {
+	e.resetClock()
+	n := e.part.NumNodes()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = analytics.Infinity
+	}
+	dist[src] = 0
+	frontier := []graph.Node{src}
+	cur := engine.DenseFromVertices(n, frontier)
+	level := uint32(0)
+	for len(frontier) > 0 {
+		level++
+		lvl := level
+		frags := e.exchange(dedupMin, func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			for v := lo; v < hi; v++ {
+				if !cur.Test(v) {
+					continue
+				}
+				nbrs := w.rt.OutScan(t, v-w.lo, false)
+				w.labels.RandomN(t, int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				for _, d := range nbrs {
+					if dist[d] == analytics.Infinity {
+						w.claim(t, d, uint64(lvl))
+					}
+				}
+			}
+		})
+		frontier = fragmentDests(frags)
+		for _, d := range frontier {
+			dist[d] = lvl
+		}
+		cur = engine.DenseFromVertices(n, frontier)
+	}
+	return &analytics.Result{App: "bfs", Algorithm: "shard-bsp", Rounds: e.rounds, Seconds: e.WallSeconds(), Dist: dist}
+}
+
+// SSSP runs sharded data-driven Bellman-Ford from src. The partitioned
+// graph must be weighted.
+func (e *Engine) SSSP(src graph.Node) *analytics.Result {
+	if !e.part.Source().HasWeights() {
+		panic("shard: sssp requires weights; seal them before NewPartition")
+	}
+	e.resetClock()
+	n := e.part.NumNodes()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = analytics.Infinity
+	}
+	dist[src] = 0
+	frontier := []graph.Node{src}
+	cur := engine.DenseFromVertices(n, frontier)
+	for len(frontier) > 0 {
+		frags := e.exchange(dedupMin, func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			for v := lo; v < hi; v++ {
+				if !cur.Test(v) {
+					continue
+				}
+				nbrs, ws := w.rt.OutScanW(t, v-w.lo)
+				w.labels.RandomN(t, int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				dv := dist[v]
+				for i, d := range nbrs {
+					nd := dv + ws[i]
+					if nd < dv {
+						continue // overflow
+					}
+					if nd < dist[d] {
+						w.claim(t, d, uint64(nd))
+					}
+				}
+			}
+		})
+		frontier = frontier[:0]
+		for _, c := range mergeClaims(frags, dedupMin) {
+			if nd := uint32(c.val); nd < dist[c.d] {
+				dist[c.d] = nd
+				frontier = append(frontier, c.d)
+			}
+		}
+		cur = engine.DenseFromVertices(n, frontier)
+	}
+	return &analytics.Result{App: "sssp", Algorithm: "shard-bsp", Rounds: e.rounds, Seconds: e.WallSeconds(), Dist: dist}
+}
+
+// CC runs sharded label propagation. Labels must flow against edges too,
+// so the partition's source needs its transpose.
+func (e *Engine) CC() *analytics.Result {
+	e.requireIn("cc")
+	e.resetClock()
+	n := e.part.NumNodes()
+	labels := make([]uint32, n)
+	frontier := make([]graph.Node, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+		frontier[i] = graph.Node(i)
+	}
+	cur := engine.FullDense(n)
+	for len(frontier) > 0 {
+		frags := e.exchange(dedupMin, func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			for v := lo; v < hi; v++ {
+				if !cur.Test(v) {
+					continue
+				}
+				lv := labels[v]
+				outs := w.rt.OutScan(t, v-w.lo, false)
+				ins := w.rt.InScan(t, v-w.lo, false)
+				w.labels.RandomN(t, int64(len(outs)+len(ins)), true)
+				t.Op(len(outs) + len(ins))
+				for _, d := range outs {
+					if lv < labels[d] {
+						w.claim(t, d, uint64(lv))
+					}
+				}
+				for _, d := range ins {
+					if lv < labels[d] {
+						w.claim(t, d, uint64(lv))
+					}
+				}
+			}
+		})
+		frontier = frontier[:0]
+		for _, c := range mergeClaims(frags, dedupMin) {
+			if lv := uint32(c.val); lv < labels[c.d] {
+				labels[c.d] = lv
+				frontier = append(frontier, c.d)
+			}
+		}
+		cur = engine.DenseFromVertices(n, frontier)
+	}
+	return &analytics.Result{App: "cc", Algorithm: "shard-bsp", Rounds: e.rounds, Seconds: e.WallSeconds(), Labels: labels}
+}
+
+// PR runs sharded topology-driven pull pagerank. Per round every shard
+// recomputes its masters (gathering the frozen round-start contributions
+// of their in-neighbors) and broadcasts their fresh values; this benefits
+// from partitioned locality and aggregate memory bandwidth, which is why
+// the paper finds the cluster beating the single Optane machine on pr.
+func (e *Engine) PR(tol float64, maxRounds int) *analytics.Result {
+	e.requireIn("pr")
+	e.resetClock()
+	g := e.part.Source()
+	n := e.part.NumNodes()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n)     // round-start contributions (frozen)
+	contribNext := make([]float64, n) // published for the next round
+	// Per-vertex residual shards (owner-only writes), summed sequentially
+	// in vertex order after each round: the total is a pure function of
+	// the round's values, independent of shard count and thread count —
+	// so the stopping round is too.
+	resid := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+		if d := g.OutDegree(graph.Node(i)); d > 0 {
+			contrib[i] = rank[i] / float64(d)
+		}
+	}
+	base := (1 - 0.85) / float64(n)
+	rounds := 0
+	for rounds < maxRounds {
+		rounds++
+		compute := e.superstep(func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			w.labels.ReadRange(t, int64(lo), int64(hi))
+			t.Op(int(hi - lo))
+			for v := lo; v < hi; v++ {
+				ins := w.rt.InScan(t, v-w.lo, false)
+				w.labels.RandomN(t, int64(len(ins)), false)
+				t.Op(len(ins) + 1)
+				sum := 0.0
+				for _, u := range ins {
+					sum += contrib[u]
+				}
+				nv := base + 0.85*sum
+				resid[v] = math.Abs(nv - rank[v])
+				next[v] = nv
+				if d := w.rt.OutDegree(v - w.lo); d > 0 {
+					contribNext[v] = nv / float64(d)
+				} else {
+					contribNext[v] = 0
+				}
+			}
+		})
+		// Dense app: every master's new value is broadcast — unless the
+		// shard is alone, in which case nothing leaves the machine.
+		send := make([]int64, e.Shards())
+		if e.Shards() > 1 {
+			for i, w := range e.workers {
+				send[i] = int64(w.hi-w.lo) * 8
+			}
+		}
+		e.endRound(compute, send)
+		rank, next = next, rank
+		contrib, contribNext = contribNext, contrib
+		residual := 0.0
+		for _, x := range resid {
+			residual += x
+		}
+		if residual < tol {
+			break
+		}
+	}
+	return &analytics.Result{App: "pr", Algorithm: "shard-bsp", Rounds: e.rounds, Seconds: e.WallSeconds(), Rank: append([]float64(nil), rank...)}
+}
+
+// KCore runs sharded round-based peeling with threshold k.
+func (e *Engine) KCore(k int64) *analytics.Result {
+	e.requireIn("kcore")
+	e.resetClock()
+	g := e.part.Source()
+	n := e.part.NumNodes()
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.Node(v)) + g.InDegree(graph.Node(v))
+	}
+	removed := make([]bool, n)
+	for {
+		// Peeling is judged against the round-start degrees: decrements
+		// only land at the barrier, so whether v peels this round never
+		// depends on sibling decrements landing early.
+		frags := e.exchange(dedupSum, func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			w.labels.ReadRange(t, int64(lo), int64(hi))
+			for v := lo; v < hi; v++ {
+				if removed[v] || deg[v] >= k {
+					continue
+				}
+				removed[v] = true // owner-only write
+				w.counts[t.ID]++
+				outs := w.rt.OutScan(t, v-w.lo, false)
+				ins := w.rt.InScan(t, v-w.lo, false)
+				w.labels.RandomN(t, int64(len(outs)+len(ins)), true)
+				t.Op(len(outs) + len(ins))
+				for _, d := range outs {
+					w.claim(t, d, 1)
+				}
+				for _, d := range ins {
+					w.claim(t, d, 1)
+				}
+			}
+		})
+		peeled := int64(0)
+		for _, w := range e.workers {
+			peeled += w.total()
+		}
+		for _, c := range mergeClaims(frags, dedupSum) {
+			deg[c.d] -= int64(c.val)
+		}
+		if peeled == 0 {
+			break
+		}
+	}
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = deg[v] >= k
+	}
+	return &analytics.Result{App: "kcore", Algorithm: "shard-bsp", Rounds: e.rounds, Seconds: e.WallSeconds(), InCore: in}
+}
+
+// BC runs sharded round-synchronous Brandes betweenness centrality from
+// src: a forward BFS phase accumulating shortest-path counts (sigma
+// claims are commutative uint64 adds, collapsed per destination) and a
+// backward dependency phase with owner-only delta writes.
+func (e *Engine) BC(src graph.Node) *analytics.Result {
+	e.resetClock()
+	n := e.part.NumNodes()
+	dist := make([]uint32, n)
+	sigma := make([]uint64, n)
+	delta := make([]float64, n)
+	for i := range dist {
+		dist[i] = analytics.Infinity
+	}
+	dist[src] = 0
+	sigma[src] = 1
+
+	frontier := []graph.Node{src}
+	cur := engine.DenseFromVertices(n, frontier)
+	// levels holds copies: the frontier slice is recycled across rounds.
+	levels := [][]graph.Node{append([]graph.Node(nil), frontier...)}
+	level := uint32(0)
+	for len(frontier) > 0 {
+		level++
+		lvl := level
+		frags := e.exchange(dedupSum, func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			for v := lo; v < hi; v++ {
+				if !cur.Test(v) {
+					continue
+				}
+				nbrs := w.rt.OutScan(t, v-w.lo, false)
+				w.labels.RandomN(t, 2*int64(len(nbrs)), true)
+				t.Op(len(nbrs))
+				sv := sigma[v]
+				for _, d := range nbrs {
+					// d joins level lvl this round iff it was unvisited
+					// at round start; every path count flowing into it
+					// ships as one summed claim.
+					if dist[d] == analytics.Infinity {
+						w.claim(t, d, sv)
+					}
+				}
+			}
+		})
+		frontier = frontier[:0]
+		for _, c := range mergeClaims(frags, dedupSum) {
+			dist[c.d] = lvl
+			sigma[c.d] += c.val
+			frontier = append(frontier, c.d)
+		}
+		if len(frontier) > 0 {
+			levels = append(levels, append([]graph.Node(nil), frontier...))
+		}
+		cur = engine.DenseFromVertices(n, frontier)
+	}
+
+	for l := len(levels) - 1; l >= 0; l-- {
+		fr := engine.DenseFromVertices(n, levels[l])
+		compute := e.superstep(func(w *worker, t *memsim.Thread, lo, hi graph.Node) {
+			for v := lo; v < hi; v++ {
+				if !fr.Test(v) {
+					continue
+				}
+				nbrs := w.rt.OutScan(t, v-w.lo, false)
+				w.labels.RandomN(t, 3*int64(len(nbrs)), false)
+				t.Op(len(nbrs))
+				dv := dist[v]
+				sv := float64(sigma[v])
+				acc := 0.0
+				for _, d := range nbrs {
+					if dist[d] == dv+1 {
+						if sd := float64(sigma[d]); sd > 0 {
+							acc += sv / sd * (1 + delta[d])
+							if d < w.lo || d >= w.hi {
+								w.counts[t.ID]++
+							}
+						}
+					}
+				}
+				delta[v] = acc // owner-only write
+			}
+		})
+		send := make([]int64, e.Shards())
+		for i, w := range e.workers {
+			send[i] = w.total() * 8
+		}
+		e.endRound(compute, send)
+	}
+	return &analytics.Result{App: "bc", Algorithm: "shard-bsp", Rounds: e.rounds, Seconds: e.WallSeconds(), Dist: dist, Centrality: append([]float64(nil), delta...)}
+}
+
+// requireIn panics when a kernel needing the transpose runs over a
+// partition extracted before BuildIn — the local graphs cannot build
+// their own (global IDs over local offsets), so sealing order is a hard
+// precondition, not a lazy fix-up.
+func (e *Engine) requireIn(app string) {
+	if !e.part.Source().HasIn() {
+		panic("shard: " + app + " requires the transpose; BuildIn before NewPartition")
+	}
+}

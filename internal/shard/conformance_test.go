@@ -1,0 +1,158 @@
+package shard_test
+
+// The sharded-determinism conformance suite: frameworks.RunShardedOnOpts
+// must produce bitwise-identical outputs across shard counts, GOMAXPROCS,
+// and storage backends. CI runs this under -race in the uncached step, so
+// it doubles as the proof that concurrent shard workers share no unordered
+// mutable state.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	"pmemgraph/internal/analytics"
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/frameworks"
+	"pmemgraph/internal/gen"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// conformanceGraph is sealed for every sharded app: weights for sssp, the
+// transpose for cc/pr/kcore — both BEFORE partitioning, since shard-local
+// graphs alias the source arrays.
+func conformanceGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.WebCrawl(1200, 5, 40, 17)
+	g.AddRandomWeights(frameworks.DefaultWeightMax, frameworks.DefaultWeightSeed)
+	g.BuildIn()
+	return g
+}
+
+// resultBytes serializes every output array of a Result so "identical"
+// means bitwise, not approximately: float64 ranks and centralities are
+// compared at full bit width.
+func resultBytes(t *testing.T, res *analytics.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, arr := range []any{res.Dist, res.Labels, res.Rank, res.InCore, res.Centrality} {
+		if err := binary.Write(&buf, binary.LittleEndian, arr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestShardedConformance(t *testing.T) {
+	g := conformanceGraph(t)
+	params := frameworks.DefaultParams(g)
+	apps := []string{"bfs", "cc", "pr", "sssp"}
+	machine := memsim.Scaled(memsim.OptaneMachine(), 32)
+
+	parts := map[int]*graph.Partition{}
+	for _, shards := range []int{1, 2, 8} {
+		p, err := graph.NewPartition(g, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[shards] = p
+	}
+
+	run := func(t *testing.T, app string, shards int, backend core.Backend) []byte {
+		t.Helper()
+		opts := core.GaloisDefaults(4)
+		opts.Backend = backend
+		res, err := frameworks.RunShardedOnOpts(machine, parts[shards], app, opts, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultBytes(t, res)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, app := range apps {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			runtime.GOMAXPROCS(runtime.NumCPU())
+			want := run(t, app, 1, core.BackendRaw)
+			for _, shards := range []int{1, 2, 8} {
+				for _, procs := range []int{1, 3, 8} {
+					for _, backend := range []core.Backend{core.BackendRaw, core.BackendCompressed} {
+						runtime.GOMAXPROCS(procs)
+						got := run(t, app, shards, backend)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("%s: output differs at shards=%d GOMAXPROCS=%d backend=%v",
+								app, shards, procs, backend)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesRoundBasedSingleMachine pins the sharded kernels to
+// their single-machine round-based counterparts on the values that are
+// exactly comparable (bfs levels, sssp distances, cc labels).
+func TestShardedMatchesRoundBasedSingleMachine(t *testing.T) {
+	g := conformanceGraph(t)
+	params := frameworks.DefaultParams(g)
+	machine := memsim.Scaled(memsim.OptaneMachine(), 32)
+	part, err := graph.NewPartition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.GaloisDefaults(4)
+	for _, app := range []string{"bfs", "sssp", "cc"} {
+		sharded, err := frameworks.RunShardedOnOpts(machine, part, app, opts, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := frameworks.Galois.RunOn(memsim.NewMachine(machine), g, app, 4, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch app {
+		case "bfs", "sssp":
+			for v := range single.Dist {
+				if sharded.Dist[v] != single.Dist[v] {
+					t.Fatalf("%s: dist[%d] = %d, want %d", app, v, sharded.Dist[v], single.Dist[v])
+				}
+			}
+		case "cc":
+			// Galois label-prop shortcuts to component minima too.
+			for v := range single.Labels {
+				if sharded.Labels[v] != single.Labels[v] {
+					t.Fatalf("cc: label[%d] = %d, want %d", v, sharded.Labels[v], single.Labels[v])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRefusesUnsealedSources locks the sealing precondition into
+// the API: partitions cut before weights/transpose exist cannot run the
+// apps that need them.
+func TestShardedRefusesUnsealedSources(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1000, 3) // no weights, no transpose
+	part, err := graph.NewPartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := memsim.Scaled(memsim.OptaneMachine(), 32)
+	opts := core.GaloisDefaults(2)
+	params := frameworks.DefaultParams(g)
+	for _, app := range []string{"sssp", "cc", "pr", "kcore"} {
+		if _, err := frameworks.RunShardedOnOpts(machine, part, app, opts, params); err == nil {
+			t.Errorf("%s accepted an unsealed source", app)
+		}
+	}
+	if _, err := frameworks.RunShardedOnOpts(machine, part, "tc", opts, params); err == nil {
+		t.Error("tc has no sharded kernel but was accepted")
+	}
+	if !frameworks.ShardedApp("bfs") || frameworks.ShardedApp("tc") {
+		t.Error("ShardedApp classification")
+	}
+}

@@ -1,0 +1,445 @@
+// Package shard executes round-based kernels over a partitioned graph as
+// scatter/gather BSP supersteps across N in-process shard workers. Each
+// worker owns one contiguous vertex range of a graph.Partition, its own
+// memsim.Machine, and its own core.Runtime (raw or compressed backend)
+// over the shard-local CSR; a superstep coordinator runs the workers
+// concurrently, exchanges their frontier fragments, and folds compute and
+// communication into the simulated clocks.
+//
+// The package absorbs internal/distsim, which modeled the paper's §6.3
+// D-Galois cluster as a closed benchmark: the same vertex programs run
+// here, but on a runtime a server can actually fan a request out over
+// (frameworks.RunShardedOnOpts, pmemserved's JobRequest.Shards), and the
+// cluster emulation (Table 4 / Figure 11) is now just a Config preset —
+// Stampede2 hosts, Omni-Path interconnect, OEC/CVC policies.
+//
+// # Determinism contract
+//
+// Sharded outputs are bitwise identical across shard counts, GOMAXPROCS,
+// and backends (the conformance suite locks all three axes). The design
+// makes this structural rather than incidental:
+//
+//   - workers only READ shared round-start state (label arrays, the
+//     frontier bit-vector) and WRITE per-thread claim buffers or
+//     owner-only slices of per-vertex arrays — there is not a single
+//     cross-thread atomic in the kernels;
+//   - claims are judged against round-start snapshots, so the claim SET is
+//     a pure function of the round's input, not of interleaving;
+//   - each worker drains its thread buffers in thread-index order into a
+//     sorted, per-destination-collapsed fragment (min for shortest-path
+//     reductions, sum for commutative adds), and the coordinator merges
+//     fragments in shard-index order and applies them sequentially.
+//
+// # Charging model
+//
+// Per-superstep compute is each worker's ParallelItems region on its own
+// machine (static chunk ownership, so the charge is a pure function of the
+// shard). Cross-shard traffic is 8 bytes per fragment entry whose
+// destination is owned by another shard — the dirty-mirror volume a
+// Gluon-style runtime would sync. The round's wall cost is
+//
+//	max_s(compute_s) + Interconnect.ExchangeNs(shards, max_s(bytes_s), policyFactor)
+//
+// and the communication term is also advanced onto every worker's machine
+// (memsim.Machine.AdvanceWall), so per-shard simulated time includes the
+// barriers it waited in.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pmemgraph/internal/core"
+	"pmemgraph/internal/engine"
+	"pmemgraph/internal/graph"
+	"pmemgraph/internal/memsim"
+)
+
+// Policy selects the partitioning policy of the cluster emulation.
+type Policy int
+
+const (
+	// OEC is an outgoing edge cut: shards own contiguous vertex blocks
+	// balanced by out-edge count and hold all out-edges of their masters
+	// (what graph.NewPartition builds).
+	OEC Policy = iota
+	// CVC is the Cartesian (2D) vertex cut used for large host counts;
+	// the model applies its ~2/sqrt(shards) communication reduction as a
+	// volume factor.
+	CVC
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case OEC:
+		return "oec"
+	case CVC:
+		return "cvc"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes one shard fleet. The shard count itself comes from the
+// graph.Partition an Engine is built over.
+type Config struct {
+	// Threads is the virtual thread count per shard worker.
+	Threads int
+	// Machine is the per-shard machine configuration.
+	Machine memsim.MachineConfig
+	// Backend selects each worker's CSR storage backend.
+	Backend core.Backend
+	// Policy selects the partition policy's communication factor.
+	Policy Policy
+	// Net is the alpha-beta cost model for superstep exchanges.
+	Net memsim.Interconnect
+}
+
+// ServingConfig models in-process shard workers inside one serving
+// machine: shared-memory exchange costs, caller-chosen backend.
+func ServingConfig(machine memsim.MachineConfig, threads int, backend core.Backend) Config {
+	return Config{
+		Threads: threads,
+		Machine: machine,
+		Backend: backend,
+		Net:     memsim.ServingInterconnect(),
+	}
+}
+
+// ClusterConfig models the Stampede2 cluster of the paper's §6.3
+// comparison at the given host count, with the paper's partition
+// recommendation (OEC at small scale, CVC at 256 hosts) and the shared
+// capacity scale divisor.
+func ClusterConfig(hosts int, scaleDiv int64) Config {
+	p := OEC
+	if hosts >= 128 {
+		p = CVC
+	}
+	return Config{
+		Threads: 48,
+		Machine: memsim.Scaled(memsim.StampedeHost(), scaleDiv),
+		Policy:  p,
+		Net:     memsim.StampedeInterconnect(),
+	}
+}
+
+// MinHosts returns the minimum number of hosts needed to hold a graph
+// whose replicated footprint is bytes, given per-host memory (the paper's
+// DM configuration: 5 hosts for clueweb12/uk14, 20 for wdc12).
+func MinHosts(replicatedBytes int64, host memsim.MachineConfig) int {
+	perHost := host.DRAMPerSocket * int64(host.Sockets)
+	// Leave ~25% headroom for runtime structures, as a real run would.
+	usable := perHost * 3 / 4
+	h := int((replicatedBytes + usable - 1) / usable)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Engine coordinates BSP supersteps over one partition's shard workers.
+type Engine struct {
+	cfg     Config
+	part    *graph.Partition
+	workers []*worker
+
+	wallNs  float64
+	commNs  float64
+	sendTot int64
+	rounds  int
+}
+
+// worker is one shard: a vertex range, a machine, a runtime over the
+// shard-local CSR, and the replicated label array (masters plus proxies,
+// as D-Galois/Gluon replicates).
+type worker struct {
+	id     int
+	lo, hi graph.Node
+	m      *memsim.Machine
+	rt     *core.Runtime
+	labels *memsim.Array
+
+	// Per-thread claim buffers and scratch counters, indexed by virtual
+	// thread ID within one superstep region.
+	claims [][]claim
+	counts []int64
+}
+
+// claim is one scatter intent: destination and reduction operand.
+type claim struct {
+	d   graph.Node
+	val uint64
+}
+
+// Fragment collapse modes.
+const (
+	dedupMin = iota // keep the minimum value per destination (min-reductions)
+	dedupSum        // sum values per destination (commutative adds/decrements)
+)
+
+// New builds the shard fleet over a partition. The partition's source
+// graph must already hold whatever the kernels will need (weights for
+// sssp, the transpose for cc/pr/kcore): shard-local graphs alias the
+// source arrays and never seal their own.
+func New(part *graph.Partition, cfg Config) (*Engine, error) {
+	if part == nil || part.Shards() == 0 {
+		return nil, fmt.Errorf("shard: empty partition")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	e := &Engine{cfg: cfg, part: part}
+	n := int64(part.NumNodes())
+	for i := 0; i < part.Shards(); i++ {
+		local := part.Local(i)
+		opts := core.GaloisDefaults(cfg.Threads)
+		opts.Weighted = local.HasWeights()
+		opts.BothDirections = local.HasIn()
+		opts.Backend = cfg.Backend
+		m := memsim.NewMachine(cfg.Machine)
+		rt, err := core.New(m, local, opts)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r := part.RangeOf(i)
+		w := &worker{id: i, lo: r.Lo, hi: r.Hi, m: m, rt: rt}
+		w.labels = rt.ScratchArray("shard.labels", max64(n, 1), 8)
+		w.labels.Warm()
+		threads := rt.RegionThreads()
+		w.claims = make([][]claim, threads)
+		w.counts = make([]int64, threads)
+		e.workers = append(e.workers, w)
+	}
+	return e, nil
+}
+
+// Close releases every worker's runtime and arrays.
+func (e *Engine) Close() {
+	for _, w := range e.workers {
+		if w.rt != nil {
+			w.rt.Close()
+		}
+	}
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.workers) }
+
+// Owner returns the shard owning v's master.
+func (e *Engine) Owner(v graph.Node) int { return e.part.Owner(v) }
+
+// WallSeconds returns the simulated sharded execution time.
+func (e *Engine) WallSeconds() float64 { return e.wallNs / 1e9 }
+
+// CommSeconds returns the portion of wall time spent in superstep
+// exchanges.
+func (e *Engine) CommSeconds() float64 { return e.commNs / 1e9 }
+
+// BytesSent returns total cross-shard frontier bytes exchanged.
+func (e *Engine) BytesSent() int64 { return e.sendTot }
+
+// Rounds returns the number of BSP supersteps executed.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// PerShardSeconds returns each worker machine's simulated wall time: its
+// own compute plus the exchange time advanced onto it at every barrier.
+func (e *Engine) PerShardSeconds() []float64 {
+	out := make([]float64, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.m.WallSeconds()
+	}
+	return out
+}
+
+// resetClock zeroes the engine's clocks (between apps).
+func (e *Engine) resetClock() {
+	e.wallNs, e.commNs, e.sendTot, e.rounds = 0, 0, 0, 0
+	for _, w := range e.workers {
+		w.m.ResetClock()
+	}
+}
+
+// commFactor scales per-shard communication volume by partition policy.
+func (e *Engine) commFactor() float64 {
+	if e.cfg.Policy == CVC && e.Shards() > 1 {
+		return 2.0 / float64(isqrt(e.Shards()))
+	}
+	return 1.0
+}
+
+// superstep runs fn concurrently on every worker over its owned range
+// (global vertex bounds, statically chunked by the worker's runtime) and
+// returns per-shard compute nanoseconds. Workers share no mutable state
+// during the region, so running them on real goroutines is race-free and
+// the per-shard charges stay pure functions of each shard.
+func (e *Engine) superstep(fn func(w *worker, t *memsim.Thread, lo, hi graph.Node)) []float64 {
+	compute := make([]float64, len(e.workers))
+	var wg sync.WaitGroup
+	for i := range e.workers {
+		w := e.workers[i]
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			stats := w.rt.ParallelItems(int64(w.hi-w.lo), func(t *memsim.Thread, lo, hi int64) {
+				fn(w, t, w.lo+graph.Node(lo), w.lo+graph.Node(hi))
+			})
+			compute[i] = stats.ElapsedNs
+		}(i, w)
+	}
+	wg.Wait()
+	return compute
+}
+
+// endRound folds one superstep into the clocks: the slowest shard's
+// compute plus the exchange cost of the bottleneck shard's volume. The
+// exchange time is also advanced onto every worker's machine.
+func (e *Engine) endRound(computeNs []float64, sendBytes []int64) {
+	e.rounds++
+	maxCompute := 0.0
+	for _, c := range computeNs {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	maxBytes := int64(0)
+	for _, b := range sendBytes {
+		e.sendTot += b
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	comm := e.cfg.Net.ExchangeNs(e.Shards(), maxBytes, e.commFactor())
+	e.commNs += comm
+	e.wallNs += maxCompute + comm
+	for _, w := range e.workers {
+		w.m.AdvanceWall(comm)
+	}
+}
+
+// exchange runs one scatter superstep and ships the claims: fn records
+// per-thread claims via worker.claim; afterwards each worker drains its
+// buffers (thread-index order) into a sorted fragment collapsed per mode,
+// cross-shard bytes are charged (8 bytes per entry owned elsewhere), and
+// the round is folded into the clocks. The returned fragments are in
+// shard-index order, ready for the coordinator's sequential apply.
+func (e *Engine) exchange(mode int, fn func(w *worker, t *memsim.Thread, lo, hi graph.Node)) [][]claim {
+	compute := e.superstep(fn)
+	frags := make([][]claim, len(e.workers))
+	send := make([]int64, len(e.workers))
+	for i, w := range e.workers {
+		frag := w.drain(mode)
+		frags[i] = frag
+		cross := int64(0)
+		for _, c := range frag {
+			if c.d < w.lo || c.d >= w.hi {
+				cross++
+			}
+		}
+		send[i] = cross * 8
+	}
+	e.endRound(compute, send)
+	return frags
+}
+
+// claim records one scatter intent into t's private buffer.
+func (w *worker) claim(t *memsim.Thread, d graph.Node, val uint64) {
+	w.claims[t.ID] = append(w.claims[t.ID], claim{d: d, val: val})
+}
+
+// drain concatenates w's thread buffers in thread-index order, resets
+// them, and returns the sorted fragment collapsed per mode.
+func (w *worker) drain(mode int) []claim {
+	var all []claim
+	for i := range w.claims {
+		all = append(all, w.claims[i]...)
+		w.claims[i] = w.claims[i][:0]
+	}
+	return collapse(all, mode)
+}
+
+// total sums and resets w's per-thread counters in thread-index order.
+func (w *worker) total() int64 {
+	sum := int64(0)
+	for i := range w.counts {
+		sum += w.counts[i]
+		w.counts[i] = 0
+	}
+	return sum
+}
+
+// collapse sorts claims by (destination, value) and collapses duplicates
+// per mode: dedupMin keeps the first (minimum) value per destination,
+// dedupSum sums values per destination. Both are order-free reductions,
+// so the result is a pure function of the claim multiset.
+func collapse(cs []claim, mode int) []claim {
+	if len(cs) == 0 {
+		return nil
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].d != cs[j].d {
+			return cs[i].d < cs[j].d
+		}
+		return cs[i].val < cs[j].val
+	})
+	out := cs[:1]
+	for _, c := range cs[1:] {
+		last := &out[len(out)-1]
+		if c.d != last.d {
+			out = append(out, c)
+			continue
+		}
+		if mode == dedupSum {
+			last.val += c.val
+		}
+	}
+	return out
+}
+
+// mergeClaims merges shard fragments (already collapsed per mode) into
+// one coordinator-side claim list, reapplying the same reduction across
+// shards.
+func mergeClaims(frags [][]claim, mode int) []claim {
+	var all []claim
+	for _, f := range frags {
+		all = append(all, f...)
+	}
+	return collapse(all, mode)
+}
+
+// fragmentDests projects fragments onto destination slices for
+// engine.MergeFragments (the destination-only merge bfs-style claims
+// need).
+func fragmentDests(frags [][]claim) []graph.Node {
+	dests := make([][]graph.Node, len(frags))
+	for i, f := range frags {
+		ds := make([]graph.Node, len(f))
+		for k, c := range f {
+			ds[k] = c.d
+		}
+		dests[i] = ds
+	}
+	return engine.MergeFragments(dests)
+}
+
+func isqrt(n int) int {
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	if x < 1 {
+		x = 1
+	}
+	return x
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

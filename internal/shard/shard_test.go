@@ -1,4 +1,4 @@
-package distsim
+package shard
 
 import (
 	"testing"
@@ -10,18 +10,27 @@ import (
 	"pmemgraph/internal/memsim"
 )
 
-func testEngine(t *testing.T, g *graph.Graph, hosts int) *Engine {
+// testEngine partitions g and builds a cluster-preset fleet over it with a
+// test-sized thread count. Partition-level properties (coverage, balance,
+// round-trip) are locked in internal/graph's property tests; these tests
+// cover the BSP runtime on top.
+func testEngine(t *testing.T, g *graph.Graph, shards int) *Engine {
 	t.Helper()
-	cfg := DefaultConfig(hosts, 32)
-	cfg.ThreadsPerHost = 8
-	e, err := NewEngine(g, cfg)
+	p, err := graph.NewPartition(g, shards)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg := ClusterConfig(shards, 32)
+	cfg.Threads = 8
+	e, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
 	return e
 }
 
-// galoisResult runs the single-machine kernel for comparison.
+// galoisRuntime runs the single-machine kernel for comparison.
 func galoisRuntime(t *testing.T, g *graph.Graph, weighted, both bool) *core.Runtime {
 	t.Helper()
 	m := memsim.NewMachine(memsim.Scaled(memsim.OptaneMachine(), 32))
@@ -34,46 +43,6 @@ func galoisRuntime(t *testing.T, g *graph.Graph, weighted, both bool) *core.Runt
 	}
 	t.Cleanup(r.Close)
 	return r
-}
-
-func TestPartitionCoversAllVertices(t *testing.T) {
-	g := gen.ErdosRenyi(500, 3000, 1)
-	e := testEngine(t, g, 5)
-	seen := make([]bool, g.NumNodes())
-	for h := 0; h < e.Hosts(); h++ {
-		for v := e.hostLo[h]; v < e.hostHi[h]; v++ {
-			if seen[v] {
-				t.Fatalf("vertex %d assigned twice", v)
-			}
-			seen[v] = true
-			if e.Owner(v) != h {
-				t.Fatalf("owner(%d) = %d, want %d", v, e.Owner(v), h)
-			}
-		}
-	}
-	for v, s := range seen {
-		if !s {
-			t.Fatalf("vertex %d unassigned", v)
-		}
-	}
-}
-
-func TestPartitionBalancesEdges(t *testing.T) {
-	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 7, false)
-	e := testEngine(t, g, 4)
-	total := g.NumEdges()
-	for h := 0; h < 4; h++ {
-		lo, hi := e.hostLo[h], e.hostHi[h]
-		local := g.OutOffsets[hi] - g.OutOffsets[lo]
-		if local > total {
-			t.Fatalf("host %d holds more edges than exist", h)
-		}
-		// Skewed graphs cannot balance perfectly; just require no
-		// host holds more than 60% of edges.
-		if float64(local) > 0.6*float64(total) {
-			t.Errorf("host %d holds %d of %d edges (unbalanced)", h, local, total)
-		}
-	}
 }
 
 func TestMinHosts(t *testing.T) {
@@ -90,32 +59,31 @@ func TestMinHosts(t *testing.T) {
 	}
 }
 
-func TestEngineRejectsBadHosts(t *testing.T) {
-	g := gen.Path(10)
-	if _, err := NewEngine(g, DefaultConfig(0, 32)); err == nil {
-		t.Error("zero hosts accepted")
+func TestEngineRejectsEmptyPartition(t *testing.T) {
+	if _, err := New(nil, ClusterConfig(1, 32)); err == nil {
+		t.Error("nil partition accepted")
 	}
 }
 
-func TestDistBFSMatchesSingleMachine(t *testing.T) {
-	for _, hosts := range []int{1, 3, 5} {
+func TestShardBFSMatchesSingleMachine(t *testing.T) {
+	for _, shards := range []int{1, 3, 5} {
 		g := gen.WebCrawl(3000, 6, 60, 9)
 		src, _ := g.MaxOutDegreeNode()
-		e := testEngine(t, g, hosts)
+		e := testEngine(t, g, shards)
 		res := e.BFS(src)
 		want := analytics.BFSSparse(galoisRuntime(t, g, false, false), src)
 		for v := range want.Dist {
 			if res.Dist[v] != want.Dist[v] {
-				t.Fatalf("hosts=%d: dist[%d] = %d, want %d", hosts, v, res.Dist[v], want.Dist[v])
+				t.Fatalf("shards=%d: dist[%d] = %d, want %d", shards, v, res.Dist[v], want.Dist[v])
 			}
 		}
 		if res.Seconds <= 0 {
-			t.Errorf("hosts=%d: no simulated time", hosts)
+			t.Errorf("shards=%d: no simulated time", shards)
 		}
 	}
 }
 
-func TestDistSSSPMatchesSingleMachine(t *testing.T) {
+func TestShardSSSPMatchesSingleMachine(t *testing.T) {
 	g := gen.ErdosRenyi(800, 6000, 4)
 	g.AddRandomWeights(32, 5)
 	src, _ := g.MaxOutDegreeNode()
@@ -129,7 +97,7 @@ func TestDistSSSPMatchesSingleMachine(t *testing.T) {
 	}
 }
 
-func TestDistCCFindsComponents(t *testing.T) {
+func TestShardCCFindsComponents(t *testing.T) {
 	// Two disjoint cycles.
 	var edges []graph.Edge
 	for i := 0; i < 50; i++ {
@@ -143,6 +111,7 @@ func TestDistCCFindsComponents(t *testing.T) {
 		edges = append(edges, graph.Edge{Src: graph.Node(i), Dst: graph.Node(next)})
 	}
 	g := graph.MustFromEdges(100, edges, false, false)
+	g.BuildIn()
 	e := testEngine(t, g, 3)
 	res := e.CC()
 	for v := 0; v < 50; v++ {
@@ -157,8 +126,9 @@ func TestDistCCFindsComponents(t *testing.T) {
 	}
 }
 
-func TestDistPRConverges(t *testing.T) {
+func TestShardPRConverges(t *testing.T) {
 	g := gen.ErdosRenyi(400, 3200, 13)
+	g.BuildIn()
 	e := testEngine(t, g, 4)
 	res := e.PR(1e-8, 100)
 	sum := 0.0
@@ -173,8 +143,9 @@ func TestDistPRConverges(t *testing.T) {
 	}
 }
 
-func TestDistKCore(t *testing.T) {
+func TestShardKCore(t *testing.T) {
 	g := gen.Star(30)
+	g.BuildIn()
 	e := testEngine(t, g, 2)
 	res := e.KCore(3)
 	// Star center has degree 58 undirected; spokes have 2 (<3): all
@@ -186,7 +157,7 @@ func TestDistKCore(t *testing.T) {
 	}
 }
 
-func TestDistBCMatchesSingleMachine(t *testing.T) {
+func TestShardBCMatchesSingleMachine(t *testing.T) {
 	g := gen.Grid(7, 8)
 	src := graph.Node(0)
 	e := testEngine(t, g, 3)
@@ -199,45 +170,69 @@ func TestDistBCMatchesSingleMachine(t *testing.T) {
 	}
 }
 
-func TestCommScalesWithHosts(t *testing.T) {
+func TestCommScalesWithShards(t *testing.T) {
 	g := gen.ErdosRenyi(2000, 16000, 21)
 	one := testEngine(t, g, 1)
 	one.BFS(0)
 	many := testEngine(t, g, 8)
 	many.BFS(0)
 	if one.BytesSent() != 0 {
-		t.Errorf("single host sent %d bytes, want 0", one.BytesSent())
+		t.Errorf("single shard sent %d bytes, want 0", one.BytesSent())
 	}
 	if many.BytesSent() == 0 {
-		t.Error("8 hosts sent no bytes")
+		t.Error("8 shards sent no bytes")
 	}
 	if many.CommSeconds() <= one.CommSeconds() {
-		t.Errorf("comm time should grow with hosts: 1 host %.6f vs 8 hosts %.6f", one.CommSeconds(), many.CommSeconds())
+		t.Errorf("comm time should grow with shards: 1 shard %.6f vs 8 shards %.6f", one.CommSeconds(), many.CommSeconds())
 	}
 }
 
 func TestCVCCommFactorBelowOEC(t *testing.T) {
 	g := gen.ErdosRenyi(1000, 8000, 2)
-	cfgO := DefaultConfig(16, 32)
-	cfgO.Partition = OEC
-	cfgO.ThreadsPerHost = 4
+	p, err := graph.NewPartition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgO := ClusterConfig(16, 32)
+	cfgO.Threads = 4
+	cfgO.Policy = OEC
 	cfgC := cfgO
-	cfgC.Partition = CVC
-	eo, err := NewEngine(g, cfgO)
+	cfgC.Policy = CVC
+	eo, err := New(p, cfgO)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ec, err := NewEngine(g, cfgC)
+	t.Cleanup(eo.Close)
+	ec, err := New(p, cfgC)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(ec.Close)
 	if of, cf := eo.commFactor(), ec.commFactor(); cf >= of {
-		t.Errorf("CVC comm factor %v should be below OEC %v at 16 hosts", cf, of)
+		t.Errorf("CVC comm factor %v should be below OEC %v at 16 shards", cf, of)
 	}
 }
 
-func TestPartitionString(t *testing.T) {
+func TestPolicyString(t *testing.T) {
 	if OEC.String() != "oec" || CVC.String() != "cvc" {
-		t.Error("partition strings")
+		t.Error("policy strings")
+	}
+}
+
+func TestPerShardSecondsAdvance(t *testing.T) {
+	g := gen.ErdosRenyi(1500, 12000, 6)
+	e := testEngine(t, g, 4)
+	e.BFS(0)
+	per := e.PerShardSeconds()
+	if len(per) != 4 {
+		t.Fatalf("per-shard times: %d entries, want 4", len(per))
+	}
+	for i, s := range per {
+		if s <= 0 {
+			t.Errorf("shard %d: no simulated time", i)
+		}
+		if s > e.WallSeconds()+1e-12 {
+			t.Errorf("shard %d: %.9fs exceeds engine wall %.9fs", i, s, e.WallSeconds())
+		}
 	}
 }

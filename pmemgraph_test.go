@@ -38,7 +38,7 @@ func TestFacadeInventory(t *testing.T) {
 	if len(InputNames()) != 6 {
 		t.Errorf("inputs = %v", InputNames())
 	}
-	if len(Experiments()) != 18 {
+	if len(Experiments()) != 19 {
 		t.Errorf("experiments = %v", Experiments())
 	}
 	if _, err := GenerateInput("nope", ScaleSmall); err == nil {
